@@ -1,0 +1,97 @@
+// Package cmd_test builds the real CLI binaries and drives them end to
+// end: matgen writes a MatrixMarket workload, asysolve solves it with
+// several methods, and the outputs are checked for the promised artifacts.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles ./cmd/<name> into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = ".." // repo root relative to the cmd package directory
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestMatgenAsysolvePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	matgen := buildTool(t, dir, "matgen")
+	asysolve := buildTool(t, dir, "asysolve")
+
+	mtx := filepath.Join(dir, "a.mtx")
+	out := run(t, matgen, "-kind", "randomspd", "-n", "300", "-nnz", "6", "-o", mtx)
+	if !strings.Contains(out, "300 x 300") {
+		t.Fatalf("matgen output unexpected: %s", out)
+	}
+	if fi, err := os.Stat(mtx); err != nil || fi.Size() == 0 {
+		t.Fatalf("matrix file missing: %v", err)
+	}
+
+	sol := filepath.Join(dir, "x.mtx")
+	for _, method := range []string{"asyrgs", "cg", "fcg", "jacobi", "gs", "kaczmarz"} {
+		args := []string{"-A", mtx, "-method", method, "-tol", "1e-6", "-o", sol}
+		out := run(t, asysolve, args...)
+		if !strings.Contains(out, "converged=true") {
+			t.Fatalf("method %s did not report convergence:\n%s", method, out)
+		}
+		if !strings.Contains(out, "relative A-norm error") {
+			t.Fatalf("method %s missing A-norm report:\n%s", method, out)
+		}
+	}
+	if fi, err := os.Stat(sol); err != nil || fi.Size() == 0 {
+		t.Fatalf("solution file missing: %v", err)
+	}
+}
+
+func TestMatgenKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	matgen := buildTool(t, dir, "matgen")
+	for _, kind := range []string{"socialgram", "laplacian2d", "laplacian3d", "overdetermined"} {
+		path := filepath.Join(dir, kind+".mtx")
+		n := "60"
+		if kind == "laplacian3d" {
+			n = "6"
+		}
+		out := run(t, matgen, "-kind", kind, "-n", n, "-o", path)
+		if !strings.Contains(out, path) {
+			t.Fatalf("matgen %s output unexpected: %s", kind, out)
+		}
+	}
+}
+
+func TestAsybenchSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	asybench := buildTool(t, dir, "asybench")
+	out := run(t, asybench, "-exp", "rho", "-n", "200", "-threads", "1,2")
+	if !strings.Contains(out, "Interference parameters") {
+		t.Fatalf("asybench rho output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/core"
+	"github.com/asynclinalg/asyrgs/internal/distmem"
+	"github.com/asynclinalg/asyrgs/internal/krylov"
+	"github.com/asynclinalg/asyrgs/internal/stats"
+)
+
+// DelayRow is one row of the delay-distribution report.
+type DelayRow struct {
+	Threads      int
+	ObservedTau  int     // worst case (the τ the theorems use)
+	FractionZero float64 // fraction of perfectly fresh reads
+	P99Bound     uint64  // upper bound on the 99th-percentile delay
+	MeanBound    float64 // upper bound on the mean delay
+}
+
+// DelayDistribution measures the delay distribution of real asynchronous
+// executions across thread counts — the experiment the paper's conclusion
+// calls for: the worst-case τ is orders of magnitude above the typical
+// delay, which is why the (τ-based) bounds are pessimistic while practice
+// is close to synchronous.
+func (r *Runner) DelayDistribution(sweeps int) []DelayRow {
+	r.Prepare()
+	if sweeps <= 0 {
+		sweeps = r.Cfg.Sweeps
+	}
+	rows := make([]DelayRow, 0, len(r.Cfg.Threads))
+	r.printf("\n== Delay distribution of real asynchronous executions (%d sweeps) ==\n", sweeps)
+	r.printf("%-8s %-10s %-10s %-10s %-10s\n", "threads", "tau-hat", "frac-0", "p99<=", "mean<=")
+	for _, th := range r.Cfg.Threads {
+		if th < 2 {
+			continue
+		}
+		solver, err := core.New(r.Gram, core.Options{Workers: th, Seed: r.Cfg.Seed, MeasureDelay: true})
+		if err != nil {
+			panic(err)
+		}
+		x := make([]float64, r.Gram.Rows)
+		solver.AsyncSweeps(x, r.bStar, sweeps)
+		h := stats.Pow2Histogram{Counts: solver.DelayHistogram()}
+		row := DelayRow{
+			Threads:      th,
+			ObservedTau:  solver.ObservedTau(),
+			FractionZero: h.FractionZero(),
+			P99Bound:     h.QuantileUpperBound(0.99),
+			MeanBound:    h.MeanUpperBound(),
+		}
+		rows = append(rows, row)
+		r.printf("%-8d %-10d %-10.3f %-10d %-10.1f\n", th, row.ObservedTau, row.FractionZero, row.P99Bound, row.MeanBound)
+	}
+	return rows
+}
+
+// SamplingRow is one row of the sampling-strategy ablation.
+type SamplingRow struct {
+	Strategy string
+	Time     time.Duration
+	Residual float64
+}
+
+// SamplingAblation compares the three direction distributions after a
+// fixed sweep budget on the social-media matrix: uniform (the paper's
+// algorithm), diagonal-weighted (general Leventhal–Lewis), and
+// block-partitioned (the restricted randomization the paper proposes for
+// distributed memory — single writer per coordinate, better locality, but
+// coupled blocks converge more slowly).
+func (r *Runner) SamplingAblation(workers, sweeps int) []SamplingRow {
+	r.Prepare()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if sweeps <= 0 {
+		sweeps = r.Cfg.Sweeps
+	}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"uniform", core.Options{Workers: workers, Seed: r.Cfg.Seed}},
+		{"diag-weighted", core.Options{Workers: workers, Seed: r.Cfg.Seed, DiagonalWeighted: true}},
+		{"partitioned", core.Options{Workers: workers, Seed: r.Cfg.Seed, Partitioned: true}},
+	}
+	rows := make([]SamplingRow, 0, len(configs))
+	r.printf("\n== Sampling ablation (%d workers, %d sweeps) ==\n", workers, sweeps)
+	r.printf("%-16s %-12s %-14s\n", "strategy", "time", "rel residual")
+	for _, cfg := range configs {
+		solver, err := core.New(r.Gram, cfg.opts)
+		if err != nil {
+			panic(err)
+		}
+		x := make([]float64, r.Gram.Rows)
+		d := timeIt(func() { solver.AsyncSweeps(x, r.b1, sweeps) })
+		res := solver.Residual(x, r.b1)
+		rows = append(rows, SamplingRow{Strategy: cfg.name, Time: d, Residual: res})
+		r.printf("%-16s %-12v %-14.6e\n", cfg.name, d.Round(time.Microsecond), res)
+	}
+	return rows
+}
+
+// FaultRow is one row of the fault-injection experiment.
+type FaultRow struct {
+	Scenario string
+	Residual float64
+	Tau      int
+}
+
+// FaultInjection measures the robustness claim of the paper's §2
+// discussion of Hook–Dingle: a deterministic asynchronous method can be
+// crippled by one slow processor repeatedly serving stale updates for the
+// same coordinates, while randomization spreads the staleness uniformly.
+// We run AsyRGS with a healthy worker pool, with one slow worker, and with
+// half the pool slow, and report the residual after a fixed budget.
+func (r *Runner) FaultInjection(workers, sweeps int) []FaultRow {
+	r.Prepare()
+	if workers <= 0 {
+		workers = 8
+	}
+	if sweeps <= 0 {
+		sweeps = r.Cfg.Sweeps
+	}
+	scenarios := []struct {
+		name     string
+		throttle func(worker int, j uint64)
+	}{
+		{"healthy", nil},
+		{"one-slow", func(w int, j uint64) {
+			if w == 0 && j%4 == 0 {
+				spin(2000)
+			}
+		}},
+		{"half-slow", func(w int, j uint64) {
+			if w%2 == 0 && j%4 == 0 {
+				spin(2000)
+			}
+		}},
+	}
+	rows := make([]FaultRow, 0, len(scenarios))
+	r.printf("\n== Fault injection: slow workers under randomized directions (%d workers, %d sweeps) ==\n", workers, sweeps)
+	r.printf("%-12s %-14s %-10s\n", "scenario", "rel residual", "tau-hat")
+	for _, sc := range scenarios {
+		solver, err := core.New(r.Gram, core.Options{
+			Workers: workers, Seed: r.Cfg.Seed,
+			Throttle: sc.throttle, MeasureDelay: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		x := make([]float64, r.Gram.Rows)
+		solver.AsyncSweeps(x, r.b1, sweeps)
+		rows = append(rows, FaultRow{Scenario: sc.name, Residual: solver.Residual(x, r.b1), Tau: solver.ObservedTau()})
+		r.printf("%-12s %-14.6e %-10d\n", sc.name, rows[len(rows)-1].Residual, rows[len(rows)-1].Tau)
+	}
+	return rows
+}
+
+// spin burns roughly the given number of loop iterations without
+// sleeping, so the injected slowness does not release the OS thread (a
+// sleep would let the scheduler hide the fault).
+func spin(iters int) {
+	x := 1.0
+	for i := 0; i < iters; i++ {
+		x = x*1.0000001 + 1e-9
+	}
+	if x < 0 {
+		panic("unreachable")
+	}
+}
+
+// DistRow is one row of the distributed-memory emulation experiment.
+type DistRow struct {
+	QueueCap int
+	Residual float64
+	Messages uint64
+	MaxQueue int
+	Time     time.Duration
+}
+
+// DistMem runs the message-passing emulation (internal/distmem) of the
+// restricted-randomization solver across communication-buffer capacities,
+// the knob that physically realises the delay bound τ in a distributed
+// deployment — the paper's "extend to massively parallel systems" future
+// work, made measurable.
+func (r *Runner) DistMem(workers, sweeps int, caps []int) []DistRow {
+	r.Prepare()
+	if workers <= 0 {
+		workers = 8
+	}
+	if sweeps <= 0 {
+		sweeps = r.Cfg.Sweeps
+	}
+	if len(caps) == 0 {
+		caps = []int{1, 4, 16, 64}
+	}
+	rows := make([]DistRow, 0, len(caps))
+	r.printf("\n== Distributed-memory emulation (%d ranks, %d sweeps) ==\n", workers, sweeps)
+	r.printf("%-10s %-14s %-12s %-10s %-10s\n", "queue-cap", "rel residual", "messages", "max-queue", "time")
+	for _, c := range caps {
+		x := make([]float64, r.Gram.Rows)
+		var res distmem.Result
+		var err error
+		d := timeIt(func() {
+			res, err = distmem.Solve(r.Gram, x, r.b1, sweeps, distmem.Config{
+				Workers: workers, QueueCap: c, Seed: r.Cfg.Seed,
+			})
+		})
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, DistRow{QueueCap: c, Residual: res.Residual, Messages: res.MessagesSent, MaxQueue: res.MaxQueueLen, Time: d})
+		r.printf("%-10d %-14.6e %-12d %-10d %-10v\n", c, res.Residual, res.MessagesSent, res.MaxQueueLen, d.Round(time.Microsecond))
+	}
+	return rows
+}
+
+// ClassicRow compares classical asynchronous Jacobi against AsyRGS.
+type ClassicRow struct {
+	Method   string
+	Scenario string
+	Residual float64
+}
+
+// ClassicVsRandomized pits deterministic chaotic-relaxation Jacobi against
+// AsyRGS at equal sweep budgets, healthy and with a starved block/worker —
+// the §2 Hook–Dingle motivation for randomization, head to head.
+func (r *Runner) ClassicVsRandomized(workers, sweeps int) []ClassicRow {
+	r.Prepare()
+	if workers <= 0 {
+		workers = 8
+	}
+	if sweeps <= 0 {
+		sweeps = r.Cfg.Sweeps
+	}
+	var rows []ClassicRow
+	emit := func(method, scenario string, res float64) {
+		rows = append(rows, ClassicRow{method, scenario, res})
+		r.printf("%-12s %-12s %-14.6e\n", method, scenario, res)
+	}
+	r.printf("\n== Classic async Jacobi vs AsyRGS (%d workers, %d sweeps) ==\n", workers, sweeps)
+	r.printf("%-12s %-12s %-14s\n", "method", "scenario", "rel residual")
+
+	// Healthy runs.
+	xj := make([]float64, r.Gram.Rows)
+	jres := krylov.AsyncJacobi(r.Gram, xj, r.b1, sweeps, workers)
+	emit("jacobi", "healthy", jres.Residual)
+	s, err := core.New(r.Gram, core.Options{Workers: workers, Seed: r.Cfg.Seed})
+	if err != nil {
+		panic(err)
+	}
+	xr := make([]float64, r.Gram.Rows)
+	s.AsyncSweeps(xr, r.b1, sweeps)
+	emit("asyrgs", "healthy", s.Residual(xr, r.b1))
+
+	// Starved: worker 0 runs far slower in both methods.
+	slowJ := func(w, i int) {
+		if w == 0 {
+			spin(400)
+		}
+	}
+	xjs := make([]float64, r.Gram.Rows)
+	jsres := krylov.AsyncJacobiThrottled(r.Gram, xjs, r.b1, sweeps, workers, slowJ)
+	emit("jacobi", "one-slow", jsres.Residual)
+
+	slowR := func(w int, j uint64) {
+		if w == 0 {
+			spin(400)
+		}
+	}
+	s2, err := core.New(r.Gram, core.Options{Workers: workers, Seed: r.Cfg.Seed, Throttle: slowR})
+	if err != nil {
+		panic(err)
+	}
+	xrs := make([]float64, r.Gram.Rows)
+	s2.AsyncSweeps(xrs, r.b1, sweeps)
+	emit("asyrgs", "one-slow", s2.Residual(xrs, r.b1))
+	return rows
+}

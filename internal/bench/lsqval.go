@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"github.com/asynclinalg/asyrgs/internal/core"
+	"github.com/asynclinalg/asyrgs/internal/lsq"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+func newCoreSolver(r *Runner, workers, syncPeriod int) (*core.Solver, error) {
+	return core.New(r.Gram, core.Options{Workers: workers, Seed: r.Cfg.Seed, SyncPeriod: syncPeriod})
+}
+
+// LSQRow is one row of the §8 least-squares validation.
+type LSQRow struct {
+	Workers  int
+	Sweeps   int
+	Residual float64 // ‖Aᵀ(b−Ax)‖₂ after the budget
+}
+
+// LSQValidation exercises §8 (Theorem 5): randomized coordinate descent on
+// an overdetermined system, sequentially (iteration (20)) and
+// asynchronously (iteration (21)), reporting the normal-equation residual
+// after a fixed sweep budget. The asynchronous runs use β < 1 as
+// Theorem 5 requires.
+func (r *Runner) LSQValidation(rows, cols, sweeps int, workerList []int) []LSQRow {
+	if rows <= 0 {
+		rows = 2000
+	}
+	if cols <= 0 {
+		cols = 500
+	}
+	if sweeps <= 0 {
+		sweeps = 50
+	}
+	if len(workerList) == 0 {
+		workerList = []int{1, 4, 16}
+	}
+	a := workload.RandomOverdetermined(rows, cols, 6, r.Cfg.Seed+7)
+	b := workload.RandomRHS(rows, r.Cfg.Seed+8)
+	r.printf("\n== §8 least squares: randomized CD, sync (it. 20) vs async (it. 21) ==\n")
+	r.printf("system: %s, %d sweeps\n", workload.Describe("overdetermined", a), sweeps)
+	r.printf("%-10s %-14s\n", "workers", "‖Aᵀr‖₂")
+	out := make([]LSQRow, 0, len(workerList))
+	for _, w := range workerList {
+		beta := 1.0
+		if w > 1 {
+			beta = 0.9 // Theorem 5 needs β < 1 for the asynchronous runs
+		}
+		solver, err := lsq.New(a, lsq.Options{Workers: w, Seed: r.Cfg.Seed, Beta: beta})
+		if err != nil {
+			panic(err)
+		}
+		x := make([]float64, cols)
+		solver.Iterations(x, b, sweeps*cols)
+		res := solver.LSQResidual(x, b)
+		out = append(out, LSQRow{Workers: w, Sweeps: sweeps, Residual: res})
+		r.printf("%-10d %-14.6e\n", w, res)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
+)
+
+// sampler maps a global iteration index to the coordinate updated at that
+// iteration. All implementations are pure functions of (stream, index), so
+// every worker agrees on the direction sequence without coordination.
+type sampler interface {
+	// pick returns the coordinate for global iteration j when executed by
+	// the given worker (worker matters only for partitioned sampling).
+	pick(stream rng.Stream, j uint64, worker int) int
+}
+
+// uniformSampler draws uniformly over all n coordinates — the paper's
+// headline distribution.
+type uniformSampler struct{ n int }
+
+func (s uniformSampler) pick(stream rng.Stream, j uint64, _ int) int {
+	return stream.IntnAt(j, s.n)
+}
+
+// weightedSampler draws coordinate r with probability A_rr/tr(A), the
+// general Leventhal–Lewis distribution. Selection is by binary search on
+// the diagonal CDF, so it stays a pure function of (stream, j).
+type weightedSampler struct {
+	cdf []float64 // cdf[r] = Σ_{i≤r} A_ii / tr(A)
+}
+
+func newWeightedSampler(diag []float64) weightedSampler {
+	cdf := make([]float64, len(diag))
+	var total float64
+	for i, d := range diag {
+		total += d
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return weightedSampler{cdf: cdf}
+}
+
+func (s weightedSampler) pick(stream rng.Stream, j uint64, _ int) int {
+	u := stream.Float64At(j)
+	r := sort.SearchFloat64s(s.cdf, u)
+	if r >= len(s.cdf) {
+		r = len(s.cdf) - 1
+	}
+	return r
+}
+
+// partitionedSampler gives worker w exclusive ownership of the contiguous
+// block [w·n/P, (w+1)·n/P) and draws uniformly within it — the restricted
+// randomization of the paper's distributed-memory discussion. With equal
+// blocks and workers drawing at the same rate, the marginal distribution
+// over coordinates remains uniform; what changes is that no coordinate is
+// ever contended.
+type partitionedSampler struct {
+	n, workers int
+}
+
+func (s partitionedSampler) pick(stream rng.Stream, j uint64, worker int) int {
+	if s.workers <= 1 {
+		return stream.IntnAt(j, s.n)
+	}
+	lo := worker * s.n / s.workers
+	hi := (worker + 1) * s.n / s.workers
+	if hi <= lo {
+		// More workers than rows: clamp to a singleton block.
+		lo = worker % s.n
+		hi = lo + 1
+	}
+	return lo + stream.IntnAt(j, hi-lo)
+}
+
+// newSampler selects the sampler implied by the options. Partitioned takes
+// precedence for the asynchronous path; the synchronous path (one worker)
+// treats partitioned as uniform, which is the P = 1 special case.
+func (s *Solver) newSampler(async bool) sampler {
+	switch {
+	case s.opts.Partitioned && async && s.opts.Workers > 1:
+		return partitionedSampler{n: s.a.Rows, workers: s.opts.Workers}
+	case s.opts.DiagonalWeighted:
+		return weightedSampler{cdf: s.diagCDF}
+	default:
+		return uniformSampler{n: s.a.Rows}
+	}
+}

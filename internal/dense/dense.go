@@ -1,0 +1,120 @@
+// Package dense provides a small direct solver (LU with partial pivoting)
+// and helpers for dense symmetric eigen-cross-checks. It exists to give the
+// test suite and examples an independent reference solution: every
+// iterative solver in this repository is validated against it on small
+// systems.
+package dense
+
+import (
+	"errors"
+	"math"
+
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+)
+
+// ErrSingular is returned when elimination encounters a pivot that is
+// numerically zero.
+var ErrSingular = errors.New("dense: matrix is singular to working precision")
+
+// Solve solves the n×n dense row-major system a·x = b by LU factorization
+// with partial pivoting. a and b are not modified.
+func Solve(a []float64, b []float64, n int) ([]float64, error) {
+	if len(a) != n*n || len(b) != n {
+		return nil, errors.New("dense: Solve shape mismatch")
+	}
+	lu := append([]float64(nil), a...)
+	x := append([]float64(nil), b...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu[r*n+col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for k := 0; k < n; k++ {
+				lu[p*n+k], lu[col*n+k] = lu[col*n+k], lu[p*n+k]
+			}
+			x[p], x[col] = x[col], x[p]
+		}
+		piv := lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r*n+col] / piv
+			if f == 0 {
+				continue
+			}
+			lu[r*n+col] = f
+			for k := col + 1; k < n; k++ {
+				lu[r*n+k] -= f * lu[col*n+k]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for k := r + 1; k < n; k++ {
+			s -= lu[r*n+k] * x[k]
+		}
+		x[r] = s / lu[r*n+r]
+	}
+	return x, nil
+}
+
+// SolveCSR solves a sparse square system by densifying — for tests and
+// reference solutions on small matrices only.
+func SolveCSR(a *sparse.CSR, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("dense: SolveCSR needs a square matrix")
+	}
+	return Solve(a.Dense(), b, a.Rows)
+}
+
+// Inverse returns the dense inverse of the small CSR matrix, column by
+// column — used by tests to build an exact preconditioner.
+func Inverse(a *sparse.CSR) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("dense: Inverse needs a square matrix")
+	}
+	n := a.Rows
+	ad := a.Dense()
+	inv := make([]float64, n*n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := Solve(ad, e, n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv[i*n+j] = col[i]
+		}
+	}
+	return inv, nil
+}
+
+// MulVec computes y = M·x for a dense row-major n×n matrix.
+func MulVec(m []float64, x []float64, n int) []float64 {
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		row := m[i*n : (i+1)*n]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,107 @@
+package dense
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+func TestSolveKnown(t *testing.T) {
+	// [2 1; 1 3]·x = [3; 5] → x = [4/5, 7/5]
+	a := []float64{2, 1, 1, 3}
+	x, err := Solve(a, []float64{3, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.8) > 1e-14 || math.Abs(x[1]-1.4) > 1e-14 {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a := []float64{0, 1, 1, 0}
+	x, err := Solve(a, []float64{2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	if _, err := Solve(a, []float64{1, 2}, 2); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := []float64{2, 1, 1, 3}
+	b := []float64{3, 5}
+	_, _ = Solve(a, b, 2)
+	if a[0] != 2 || b[0] != 3 {
+		t.Fatal("Solve must not mutate inputs")
+	}
+}
+
+func TestSolveCSRRoundTrip(t *testing.T) {
+	m := workload.RandomSPD(25, 4, 1.5, 1)
+	b, xstar := workload.RHSForSolution(m, 2)
+	x, err := SolveCSR(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xstar[i]) > 1e-9 {
+			t.Fatalf("entry %d: %v vs %v", i, x[i], xstar[i])
+		}
+	}
+	if _, err := SolveCSR(sparse.NewCOO(2, 3).ToCSR(), []float64{1, 1}); err == nil {
+		t.Fatal("rectangular must be rejected")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	m := workload.RandomSPD(10, 3, 1.5, 3)
+	inv, err := Inverse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M·M⁻¹ ≈ I.
+	md := m.Dense()
+	n := 10
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += md[i*n+k] * inv[k*n+j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-9 {
+				t.Fatalf("(M·M⁻¹)[%d,%d] = %v", i, j, s)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := []float64{1, 2, 3, 4}
+	y := MulVec(m, []float64{1, 1}, 2)
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestSolveShapeError(t *testing.T) {
+	if _, err := Solve([]float64{1}, []float64{1, 2}, 2); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}

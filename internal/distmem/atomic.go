@@ -1,0 +1,33 @@
+package distmem
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// atomic64 is a tiny counter wrapper keeping the main file readable.
+type atomic64 struct{ v uint64 }
+
+func (a *atomic64) add(d uint64) { atomic.AddUint64(&a.v, d) }
+func (a *atomic64) load() uint64 { return atomic.LoadUint64(&a.v) }
+
+// atomicMax tracks a maximum with CAS.
+type atomicMax struct{ v int64 }
+
+func (m *atomicMax) observe(x int) {
+	for {
+		cur := atomic.LoadInt64(&m.v)
+		if int64(x) <= cur || atomic.CompareAndSwapInt64(&m.v, cur, int64(x)) {
+			return
+		}
+	}
+}
+
+func (m *atomicMax) load() int { return int(atomic.LoadInt64(&m.v)) }
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,204 @@
+// Package kaczmarz implements the randomized Kaczmarz method of Strohmer
+// and Vershynin and a shared-memory asynchronous variant in the style of
+// Liu, Wright and Sridhar — the closest related work the paper discusses
+// (§2). It serves as a baseline: Kaczmarz projects onto row hyperplanes of
+// a consistent system, while AsyRGS descends along coordinates of an SPD
+// system; both get linear rates from randomization.
+package kaczmarz
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/asynclinalg/asyrgs/internal/atomicfloat"
+	"github.com/asynclinalg/asyrgs/internal/rng"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/vec"
+)
+
+// ErrNotConverged mirrors the solver packages' sentinel.
+var ErrNotConverged = errors.New("kaczmarz: did not reach the requested tolerance")
+
+// Options configure a Kaczmarz run.
+type Options struct {
+	// Beta is a step-size relaxation in (0,2); 0 means 1 (exact
+	// projection onto the selected hyperplane).
+	Beta float64
+	// Workers > 1 runs the asynchronous variant.
+	Workers int
+	// Seed keys the row-selection stream.
+	Seed uint64
+	// Uniform selects rows uniformly instead of the Strohmer–Vershynin
+	// ‖A_i‖² distribution.
+	Uniform bool
+}
+
+// Solver holds the matrix and the row-sampling distribution.
+type Solver struct {
+	a        *sparse.CSR
+	rowNorm2 []float64 // ‖A_i‖²
+	cdf      []float64 // cumulative ‖A_i‖²/‖A‖_F² for norm-weighted sampling
+	opts     Options
+	beta     float64
+	next     uint64
+}
+
+// New validates and prepares a solver for A·x = b. Rows with zero norm are
+// never selected.
+func New(a *sparse.CSR, opts Options) (*Solver, error) {
+	if a.Rows == 0 {
+		return nil, errors.New("kaczmarz: empty matrix")
+	}
+	beta := opts.Beta
+	if beta == 0 {
+		beta = 1
+	}
+	if beta <= 0 || beta >= 2 {
+		return nil, errors.New("kaczmarz: step size outside (0,2)")
+	}
+	s := &Solver{a: a, opts: opts, beta: beta}
+	s.rowNorm2 = make([]float64, a.Rows)
+	s.cdf = make([]float64, a.Rows)
+	var total float64
+	for i := 0; i < a.Rows; i++ {
+		var nz float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			nz += a.Vals[k] * a.Vals[k]
+		}
+		s.rowNorm2[i] = nz
+		total += nz
+		s.cdf[i] = total
+	}
+	if total == 0 {
+		return nil, errors.New("kaczmarz: zero matrix")
+	}
+	for i := range s.cdf {
+		s.cdf[i] /= total
+	}
+	return s, nil
+}
+
+// pickRow maps iteration index j to a row according to the configured
+// distribution; it skips zero rows under uniform sampling by rejection
+// against consecutive sub-indices.
+func (s *Solver) pickRow(stream rng.Stream, j uint64) int {
+	if s.opts.Uniform {
+		for sub := uint64(0); ; sub++ {
+			i := stream.IntnAt(j*31+sub, s.a.Rows)
+			if s.rowNorm2[i] > 0 {
+				return i
+			}
+		}
+	}
+	u := stream.Float64At(j)
+	return sort.SearchFloat64s(s.cdf, u)
+}
+
+// step performs one Kaczmarz projection for row i on iterate x, reading
+// through the supplied row product and writing through upd.
+func (s *Solver) step(x, b []float64, i int, atomicRead bool, upd func(idx int, delta float64)) {
+	var dot float64
+	if atomicRead {
+		dot = s.a.RowDotAtomic(i, x)
+	} else {
+		dot = s.a.RowDot(i, x)
+	}
+	gamma := s.beta * (b[i] - dot) / s.rowNorm2[i]
+	for k := s.a.RowPtr[i]; k < s.a.RowPtr[i+1]; k++ {
+		upd(s.a.ColIdx[k], gamma*s.a.Vals[k])
+	}
+}
+
+// Iterations runs m iterations (synchronously for Workers <= 1, otherwise
+// asynchronously with atomic coordinate updates) and returns the relative
+// residual.
+func (s *Solver) Iterations(x, b []float64, m int) float64 {
+	if len(x) != s.a.Cols || len(b) != s.a.Rows {
+		panic("kaczmarz: shape mismatch")
+	}
+	stream := rng.NewStream(s.opts.Seed)
+	start := s.next
+	end := start + uint64(m)
+	if s.opts.Workers <= 1 {
+		for j := start; j < end; j++ {
+			i := s.pickRow(stream, j)
+			s.step(x, b, i, false, func(idx int, delta float64) { x[idx] += delta })
+		}
+	} else {
+		var counter atomic.Uint64
+		counter.Store(start)
+		var wg sync.WaitGroup
+		for w := 0; w < s.opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := counter.Add(1) - 1
+					if j >= end {
+						return
+					}
+					i := s.pickRow(stream, j)
+					s.step(x, b, i, true, func(idx int, delta float64) {
+						atomicfloat.Add(&x[idx], delta)
+					})
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	s.next = end
+	return s.Residual(x, b)
+}
+
+// Solve iterates until the relative residual reaches tol or maxIter
+// iterations are spent, checking every checkEvery iterations (n if zero).
+func (s *Solver) Solve(x, b []float64, tol float64, maxIter, checkEvery int) (int, float64, error) {
+	if checkEvery <= 0 {
+		checkEvery = s.a.Cols
+		if checkEvery == 0 {
+			checkEvery = 1
+		}
+	}
+	done := 0
+	for done < maxIter {
+		step := checkEvery
+		if done+step > maxIter {
+			step = maxIter - done
+		}
+		res := s.Iterations(x, b, step)
+		done += step
+		if res <= tol {
+			return done, res, nil
+		}
+	}
+	return done, s.Residual(x, b), ErrNotConverged
+}
+
+// Residual returns ‖b−Ax‖₂/‖b‖₂.
+func (s *Solver) Residual(x, b []float64) float64 {
+	r := make([]float64, s.a.Rows)
+	s.a.MulVec(r, x)
+	vec.Sub(r, b, r)
+	nb := vec.Nrm2(b)
+	if nb == 0 {
+		nb = 1
+	}
+	return vec.Nrm2(r) / nb
+}
+
+// ExpectedRate returns the Strohmer–Vershynin per-iteration contraction
+// factor 1 − λmin(AᵀA)/‖A‖_F² on E‖x−x*‖₂² for norm-weighted sampling.
+func (s *Solver) ExpectedRate(lambdaMinATA float64) float64 {
+	var frob2 float64
+	for _, v := range s.rowNorm2 {
+		frob2 += v
+	}
+	if frob2 == 0 {
+		return 1
+	}
+	r := 1 - lambdaMinATA/frob2
+	return math.Max(0, r)
+}

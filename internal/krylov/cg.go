@@ -1,0 +1,224 @@
+package krylov
+
+import (
+	"errors"
+	"math"
+
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/vec"
+)
+
+// ErrNotConverged is returned when an iteration budget is exhausted before
+// the requested tolerance is met. The iterate still holds the best
+// approximation computed.
+var ErrNotConverged = errors.New("krylov: did not reach the requested tolerance")
+
+// CGOptions configure a conjugate-gradient run.
+type CGOptions struct {
+	// Tol is the relative-residual convergence threshold ‖b−Ax‖/‖b‖.
+	Tol float64
+	// MaxIter caps the number of iterations; 0 means 10·n.
+	MaxIter int
+	// Workers parallelizes the SpMV; 0 or 1 is serial.
+	Workers int
+	// Partition selects the parallel SpMV row partitioning. The paper uses
+	// round-robin because its matrix has "very little to no structure".
+	Partition sparse.Partition
+	// Precond, when non-nil, runs preconditioned CG. It must represent a
+	// fixed SPD operator; for operators that change between applications
+	// use FlexibleCG.
+	Precond Preconditioner
+	// History, when non-nil, receives the relative residual after every
+	// iteration (index 0 = initial residual).
+	History *[]float64
+}
+
+// CGResult reports a conjugate-gradient run.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+	MatVecs    int
+}
+
+// CG solves the SPD system A·x = b by (optionally preconditioned)
+// conjugate gradients, starting from the initial guess in x.
+func CG(a *sparse.CSR, x, b []float64, opts CGOptions) (CGResult, error) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		panic("krylov: CG shape mismatch")
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	normB := vec.Nrm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+
+	r := make([]float64, n)
+	ap := make([]float64, n)
+	a.MulVecPar(ap, x, opts.Workers, opts.Partition)
+	matvecs := 1
+	vec.Sub(r, b, ap)
+
+	z := r
+	if opts.Precond != nil {
+		z = make([]float64, n)
+		opts.Precond.Apply(z, r)
+	}
+	p := append([]float64(nil), z...)
+	rz := vec.Dot(r, z)
+
+	res := vec.Nrm2(r) / normB
+	if opts.History != nil {
+		*opts.History = append(*opts.History, res)
+	}
+	if res <= tol {
+		return CGResult{Iterations: 0, Residual: res, Converged: true, MatVecs: matvecs}, nil
+	}
+
+	for it := 1; it <= maxIter; it++ {
+		a.MulVecPar(ap, p, opts.Workers, opts.Partition)
+		matvecs++
+		pap := vec.Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			// Loss of positive definiteness (numerically); stop with the
+			// current iterate rather than diverging.
+			return CGResult{Iterations: it - 1, Residual: vec.Nrm2(r) / normB, MatVecs: matvecs}, ErrNotConverged
+		}
+		alpha := rz / pap
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, ap, r)
+		res = vec.Nrm2(r) / normB
+		if opts.History != nil {
+			*opts.History = append(*opts.History, res)
+		}
+		if res <= tol {
+			return CGResult{Iterations: it, Residual: res, Converged: true, MatVecs: matvecs}, nil
+		}
+		if opts.Precond != nil {
+			opts.Precond.Apply(z, r)
+		}
+		rzNew := vec.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return CGResult{Iterations: maxIter, Residual: res, MatVecs: matvecs}, ErrNotConverged
+}
+
+// CGDense runs independent conjugate-gradient recurrences on every column
+// of the row-major block X for A·X = B, sharing the (parallel) sparse
+// matrix product across columns — the "SIMD variant of CG" of the paper's
+// §9 where the 51 systems are solved together and the blocks are stored
+// row-major for locality. Columns that converge early are frozen.
+//
+// history, when non-nil, receives ‖B−AX‖_F/‖B‖_F after every iteration.
+func CGDense(a *sparse.CSR, x, b *vec.Dense, opts CGOptions, history *[]float64) (CGResult, error) {
+	n := a.Rows
+	c := x.Cols
+	if a.Cols != n || x.Rows != n || b.Rows != n || b.Cols != c {
+		panic("krylov: CGDense shape mismatch")
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	normB := vec.Nrm2(b.Data)
+	if normB == 0 {
+		normB = 1
+	}
+
+	r := vec.NewDense(n, c)
+	p := vec.NewDense(n, c)
+	ap := vec.NewDense(n, c)
+	a.MulDense(ap.Data, x.Data, c, opts.Workers)
+	matvecs := 1
+	vec.Sub(r.Data, b.Data, ap.Data)
+	copy(p.Data, r.Data)
+
+	rz := make([]float64, c)    // per-column (r,r)
+	active := make([]bool, c)   // per-column convergence state
+	alpha := make([]float64, c) // per-column step
+	pap := make([]float64, c)   // per-column (p,Ap)
+	betas := make([]float64, c) // per-column direction update
+	colDot := func(u, v *vec.Dense, out []float64) {
+		for j := range out {
+			out[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			ur, vr := u.Row(i), v.Row(i)
+			for j := 0; j < c; j++ {
+				out[j] += ur[j] * vr[j]
+			}
+		}
+	}
+	colDot(r, r, rz)
+	for j := range active {
+		active[j] = true
+	}
+
+	res := vec.Nrm2(r.Data) / normB
+	if history != nil {
+		*history = append(*history, res)
+	}
+	if res <= tol {
+		return CGResult{Iterations: 0, Residual: res, Converged: true, MatVecs: matvecs}, nil
+	}
+
+	for it := 1; it <= maxIter; it++ {
+		a.MulDense(ap.Data, p.Data, c, opts.Workers)
+		matvecs++
+		colDot(p, ap, pap)
+		for j := 0; j < c; j++ {
+			if active[j] && pap[j] > 0 {
+				alpha[j] = rz[j] / pap[j]
+			} else {
+				alpha[j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			xr, pr, rr, apr := x.Row(i), p.Row(i), r.Row(i), ap.Row(i)
+			for j := 0; j < c; j++ {
+				xr[j] += alpha[j] * pr[j]
+				rr[j] -= alpha[j] * apr[j]
+			}
+		}
+		res = vec.Nrm2(r.Data) / normB
+		if history != nil {
+			*history = append(*history, res)
+		}
+		if res <= tol {
+			return CGResult{Iterations: it, Residual: res, Converged: true, MatVecs: matvecs}, nil
+		}
+		rzOld := append([]float64(nil), rz...)
+		colDot(r, r, rz)
+		for j := 0; j < c; j++ {
+			if active[j] && rzOld[j] > 0 {
+				betas[j] = rz[j] / rzOld[j]
+			} else {
+				betas[j] = 0
+				active[j] = false
+			}
+		}
+		for i := 0; i < n; i++ {
+			pr, rr := p.Row(i), r.Row(i)
+			for j := 0; j < c; j++ {
+				pr[j] = rr[j] + betas[j]*pr[j]
+			}
+		}
+	}
+	return CGResult{Iterations: maxIter, Residual: res, MatVecs: matvecs}, ErrNotConverged
+}

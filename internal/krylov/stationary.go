@@ -1,0 +1,110 @@
+package krylov
+
+import (
+	"math"
+
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/vec"
+)
+
+// StationaryResult reports a stationary-iteration run.
+type StationaryResult struct {
+	Sweeps    int
+	Residual  float64
+	Converged bool
+}
+
+// Jacobi runs sweeps of the Jacobi iteration x ← x + D⁻¹(b − A·x),
+// stopping early when the relative residual drops below tol (tol <= 0
+// disables the check). Jacobi is the classical synchronization-heavy
+// baseline that asynchronous methods historically relaxed.
+func Jacobi(a *sparse.CSR, x, b []float64, sweeps int, tol float64, workers int) StationaryResult {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		panic("krylov: Jacobi shape mismatch")
+	}
+	diag := a.Diag()
+	inv := make([]float64, n)
+	for i, d := range diag {
+		if d != 0 {
+			inv[i] = 1 / d
+		}
+	}
+	normB := vec.Nrm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	ax := make([]float64, n)
+	for s := 1; s <= sweeps; s++ {
+		a.MulVecPar(ax, x, workers, sparse.PartitionRoundRobin)
+		var rn float64
+		for i := 0; i < n; i++ {
+			r := b[i] - ax[i]
+			rn += r * r
+			x[i] += inv[i] * r
+		}
+		if tol > 0 {
+			if res := sqrtSafe(rn) / normB; res <= tol {
+				return StationaryResult{Sweeps: s, Residual: res, Converged: true}
+			}
+		}
+	}
+	a.MulVecPar(ax, x, workers, sparse.PartitionRoundRobin)
+	var rn float64
+	for i := 0; i < n; i++ {
+		d := b[i] - ax[i]
+		rn += d * d
+	}
+	res := sqrtSafe(rn) / normB
+	return StationaryResult{Sweeps: sweeps, Residual: res, Converged: tol > 0 && res <= tol}
+}
+
+// GaussSeidel runs deterministic forward Gauss–Seidel sweeps:
+// x_i ← (b_i − Σ_{j≠i} A_ij x_j)/A_ii in row order. It is inherently
+// sequential — the baseline whose randomized counterpart the paper builds
+// on.
+func GaussSeidel(a *sparse.CSR, x, b []float64, sweeps int, tol float64) StationaryResult {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		panic("krylov: GaussSeidel shape mismatch")
+	}
+	diag := a.Diag()
+	normB := vec.Nrm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	for s := 1; s <= sweeps; s++ {
+		for i := 0; i < n; i++ {
+			if diag[i] == 0 {
+				continue
+			}
+			var dot float64
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				dot += a.Vals[k] * x[a.ColIdx[k]]
+			}
+			// dot includes A_ii·x_i; solve for the updated x_i directly.
+			x[i] += (b[i] - dot) / diag[i]
+		}
+		if tol > 0 {
+			if res := relResidual(a, x, b, normB); res <= tol {
+				return StationaryResult{Sweeps: s, Residual: res, Converged: true}
+			}
+		}
+	}
+	res := relResidual(a, x, b, normB)
+	return StationaryResult{Sweeps: sweeps, Residual: res, Converged: tol > 0 && res <= tol}
+}
+
+func relResidual(a *sparse.CSR, x, b []float64, normB float64) float64 {
+	r := make([]float64, len(b))
+	a.MulVec(r, x)
+	vec.Sub(r, b, r)
+	return vec.Nrm2(r) / normB
+}
+
+func sqrtSafe(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,181 @@
+package lsq
+
+import (
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/core"
+	"github.com/asynclinalg/asyrgs/internal/dense"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/vec"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// lsqReference computes the least-squares minimiser via the dense normal
+// equations.
+func lsqReference(t *testing.T, a *sparse.CSR, b []float64) []float64 {
+	t.Helper()
+	ata := sparse.Gram(a)
+	atb := make([]float64, a.Cols)
+	a.ToCSC().MulTransVec(atb, b)
+	x, err := dense.SolveCSR(ata, atb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(sparse.NewCOO(2, 3).ToCSR(), Options{}); err == nil {
+		t.Fatal("underdetermined matrix must be rejected")
+	}
+	coo := sparse.NewCOO(3, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 0, 1) // column 1 empty
+	if _, err := New(coo.ToCSR(), Options{}); err == nil {
+		t.Fatal("zero column must be rejected")
+	}
+	if _, err := New(workload.RandomOverdetermined(6, 3, 2, 1), Options{Beta: -1}); err == nil {
+		t.Fatal("negative β must be rejected")
+	}
+}
+
+func TestSequentialConvergesToLeastSquares(t *testing.T) {
+	a := workload.RandomOverdetermined(60, 20, 4, 2)
+	b := workload.RandomRHS(60, 3) // generically inconsistent
+	want := lsqReference(t, a, b)
+	s, err := New(a, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 20)
+	iters, res, err := s.Solve(x, b, 1e-9, 500_000, 2000)
+	if err != nil {
+		t.Fatalf("did not converge after %d iterations (‖Aᵀr‖ = %v)", iters, res)
+	}
+	if e := vec.RelErr(x, want); e > 1e-6 {
+		t.Fatalf("minimiser error %v", e)
+	}
+}
+
+func TestSequentialConsistentSystemReachesExact(t *testing.T) {
+	a := workload.RandomOverdetermined(50, 15, 4, 5)
+	b, xstar := workload.RHSForSolution(a, 6)
+	s, _ := New(a, Options{Seed: 7})
+	x := make([]float64, 15)
+	if _, res, err := s.Solve(x, b, 1e-10, 500_000, 2000); err != nil {
+		t.Fatalf("res %v: %v", res, err)
+	}
+	if e := vec.RelErr(x, xstar); e > 1e-7 {
+		t.Fatalf("consistent-system error %v", e)
+	}
+}
+
+func TestAsyncConverges(t *testing.T) {
+	a := workload.RandomOverdetermined(120, 40, 5, 8)
+	b := workload.RandomRHS(120, 9)
+	want := lsqReference(t, a, b)
+	s, _ := New(a, Options{Seed: 10, Workers: 4, Beta: 0.9})
+	x := make([]float64, 40)
+	if _, res, err := s.Solve(x, b, 1e-7, 3_000_000, 20_000); err != nil {
+		t.Fatalf("async lsq did not converge (‖Aᵀr‖ %v)", res)
+	}
+	if e := vec.RelErr(x, want); e > 1e-4 {
+		t.Fatalf("async minimiser error %v", e)
+	}
+}
+
+func TestAsyncDefaultBetaBelowOne(t *testing.T) {
+	// Theorem 5 needs β < 1 asynchronously; the zero-value default must
+	// respect that.
+	a := workload.RandomOverdetermined(20, 8, 3, 11)
+	s, err := New(a, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.beta >= 1 {
+		t.Fatalf("async default β = %v, want < 1", s.beta)
+	}
+	sSeq, _ := New(a, Options{})
+	if sSeq.beta != 1 {
+		t.Fatalf("sequential default β = %v, want 1", sSeq.beta)
+	}
+}
+
+func TestIterationEquivalenceWithAsyRGSOnNormalEquations(t *testing.T) {
+	// §8: iteration (21) is AsyRGS applied to AᵀA x = Aᵀb. With one
+	// worker and the same direction stream, the trajectories must agree
+	// after accounting for the diagonal normalisation: AsyRGS on AᵀA with
+	// general diagonal divides by (AᵀA)_jj = ‖A e_j‖², exactly like (21).
+	a := workload.RandomOverdetermined(30, 10, 3, 12)
+	b := workload.RandomRHS(30, 13)
+
+	s, _ := New(a, Options{Seed: 14, Beta: 0.7})
+	x1 := make([]float64, 10)
+	s.Iterations(x1, b, 400)
+
+	ata, atb := s.Normal(b)
+	rgs, err := core.New(ata, core.Options{Seed: 14, Beta: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, 10)
+	rgs.Sweeps(x2, atb, 40) // 40 sweeps × 10 cols = 400 iterations
+	if !vec.Equal(x1, x2, 1e-9) {
+		t.Fatalf("lsq iteration diverged from AsyRGS on the normal equations:\n%v\n%v", x1, x2)
+	}
+}
+
+func TestLSQResidualVanishesAtMinimiser(t *testing.T) {
+	a := workload.RandomOverdetermined(40, 12, 4, 15)
+	b := workload.RandomRHS(40, 16)
+	want := lsqReference(t, a, b)
+	s, _ := New(a, Options{})
+	if res := s.LSQResidual(want, b); res > 1e-8 {
+		t.Fatalf("‖Aᵀr‖ at the minimiser = %v", res)
+	}
+	// The plain residual must equal ‖b−Ax‖ and be non-zero for an
+	// inconsistent system.
+	if rn := s.ResidualNorm(want, b); rn <= 0 {
+		t.Fatal("inconsistent system should have positive residual")
+	}
+}
+
+func TestSquareUnsymmetricSystem(t *testing.T) {
+	// §8 covers unsymmetric nonsingular square systems as a special case.
+	coo := sparse.NewCOO(3, 3)
+	coo.Add(0, 0, 3)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 1, 2)
+	coo.Add(1, 2, -1)
+	coo.Add(2, 0, 1)
+	coo.Add(2, 2, 4)
+	a := coo.ToCSR()
+	want := []float64{1, -2, 0.5}
+	b := make([]float64, 3)
+	a.MulVec(b, want)
+	s, err := New(a, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 3)
+	if _, res, err := s.Solve(x, b, 1e-12, 500_000, 1000); err != nil {
+		t.Fatalf("res %v: %v", res, err)
+	}
+	if e := vec.RelErr(x, want); e > 1e-9 {
+		t.Fatalf("unsymmetric solve error %v", e)
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	a := workload.RandomOverdetermined(25, 8, 3, 18)
+	b := workload.RandomRHS(25, 19)
+	run := func() []float64 {
+		s, _ := New(a, Options{Seed: 20})
+		x := make([]float64, 8)
+		s.Iterations(x, b, 300)
+		return x
+	}
+	if !vec.Equal(run(), run(), 0) {
+		t.Fatal("sequential lsq must be deterministic")
+	}
+}

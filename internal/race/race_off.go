@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector is active, so tests can
+// skip the deliberately racy NonAtomic ablation (whose races are the
+// paper's §9 experiment, not a bug) while everything else stays
+// race-clean.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

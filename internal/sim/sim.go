@@ -1,0 +1,294 @@
+// Package sim executes the paper's governing iterations (8) and (9) —
+// Randomized Gauss–Seidel under *enforced* bounded-delay asynchrony —
+// sequentially and deterministically.
+//
+// Real threads (internal/core) produce delays k(j) and update sets K(j)
+// that depend on the scheduler, so the assumptions of Theorems 2–4 can be
+// neither enforced nor violated on purpose. This simulator makes the models
+// executable: a DelayModel supplies k(j) for the consistent-read iteration
+// and the set of missed recent updates for the inconsistent-read iteration,
+// independent of the random direction choices exactly as Assumption A-4
+// requires. The bound-validation experiments compare the measured
+// E_m = ‖x_m − x*‖²_A trajectories against the theory package's curves.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+)
+
+// DelayModel decides how stale each iteration's read is. Implementations
+// must not depend on the direction choices (Assumption A-4): they may use
+// their own random stream but not the directions'.
+type DelayModel interface {
+	// Lag returns the read lag d_j ∈ [0, τ] for iteration j in the
+	// consistent-read model: the iteration reads x_{k(j)} with
+	// k(j) = max(0, j − d_j).
+	Lag(j uint64) int
+
+	// Missed fills miss[i] (i = 0 … τ−1) with whether the update made at
+	// iteration j−1−i is excluded from K(j) in the inconsistent-read
+	// model. Updates older than τ are always included, per equation (7).
+	Missed(j uint64, miss []bool)
+
+	// Tau returns the asynchrony bound τ the model honours.
+	Tau() int
+}
+
+// ZeroDelay is the synchronous special case: k(j) = j and K(j) complete.
+type ZeroDelay struct{}
+
+// Lag implements DelayModel.
+func (ZeroDelay) Lag(uint64) int { return 0 }
+
+// Missed implements DelayModel.
+func (ZeroDelay) Missed(_ uint64, miss []bool) {
+	for i := range miss {
+		miss[i] = false
+	}
+}
+
+// Tau implements DelayModel.
+func (ZeroDelay) Tau() int { return 0 }
+
+// FixedDelay is the adversarial worst case allowed by Assumption A-3:
+// every read is exactly τ iterations stale and every recent update is
+// missed.
+type FixedDelay struct{ T int }
+
+// Lag implements DelayModel.
+func (d FixedDelay) Lag(uint64) int { return d.T }
+
+// Missed implements DelayModel.
+func (d FixedDelay) Missed(_ uint64, miss []bool) {
+	for i := range miss {
+		miss[i] = true
+	}
+}
+
+// Tau implements DelayModel.
+func (d FixedDelay) Tau() int { return d.T }
+
+// UniformDelay draws the lag uniformly from {0,…,τ} and misses each recent
+// update independently with probability MissProb — a crude model of real
+// scheduler jitter. The stream is keyed separately from the direction
+// stream so delays stay independent of directions (Assumption A-4).
+type UniformDelay struct {
+	T        int
+	MissProb float64
+	Seed     uint64
+}
+
+// Lag implements DelayModel.
+func (d UniformDelay) Lag(j uint64) int {
+	if d.T == 0 {
+		return 0
+	}
+	s := rng.NewStream(d.Seed ^ 0x9E3779B97F4A7C15)
+	return s.IntnAt(j, d.T+1)
+}
+
+// Missed implements DelayModel.
+func (d UniformDelay) Missed(j uint64, miss []bool) {
+	s := rng.NewStream(d.Seed ^ 0xD1B54A32D192ED03)
+	for i := range miss {
+		miss[i] = s.Float64At(j*uint64(len(miss)+1)+uint64(i)) < d.MissProb
+	}
+}
+
+// Tau implements DelayModel.
+func (d UniformDelay) Tau() int { return d.T }
+
+// GeometricDelay draws the lag from a geometric distribution truncated at
+// τ: P(lag = k) ∝ (1−P0)^k. It is the probabilistic delay model the
+// paper's conclusions call for ("a probabilistic modeling of the delays
+// might lead to a convergence result that will be more descriptive"):
+// most reads are fresh, long delays are exponentially rare — the profile
+// real schedulers produce (compare Solver.DelayHistogram). Each recent
+// update is independently missed with the same tail probability.
+type GeometricDelay struct {
+	// T is the hard truncation honouring Assumption A-3.
+	T int
+	// P0 is the per-step continuation probability in (0,1); larger means
+	// heavier delay tails. Zero defaults to 0.5.
+	P0   float64
+	Seed uint64
+}
+
+func (d GeometricDelay) p() float64 {
+	if d.P0 <= 0 || d.P0 >= 1 {
+		return 0.5
+	}
+	return d.P0
+}
+
+// Lag implements DelayModel.
+func (d GeometricDelay) Lag(j uint64) int {
+	if d.T == 0 {
+		return 0
+	}
+	s := rng.NewStream(d.Seed ^ 0xA24BAED4963EE407)
+	u := s.Float64At(j)
+	p := d.p()
+	lag := 0
+	// Invert the geometric CDF: lag = floor(log(1-u)/log(p)).
+	if u > 0 {
+		lag = int(math.Log(1-u) / math.Log(p))
+	}
+	if lag > d.T {
+		lag = d.T
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
+}
+
+// Missed implements DelayModel: update j−1−i is missed if a geometric lag
+// drawn for that slot exceeds i.
+func (d GeometricDelay) Missed(j uint64, miss []bool) {
+	s := rng.NewStream(d.Seed ^ 0x9FB21C651E98DF25)
+	p := d.p()
+	for i := range miss {
+		u := s.Float64At(j*uint64(len(miss)+1) + uint64(i))
+		// Pr(missed) = p^{i+1}: recent updates are likelier missed.
+		threshold := ipow(p, i+1)
+		miss[i] = u < threshold
+	}
+}
+
+// Tau implements DelayModel.
+func (d GeometricDelay) Tau() int { return d.T }
+
+func ipow(p float64, k int) float64 {
+	out := 1.0
+	for ; k > 0; k-- {
+		out *= p
+	}
+	return out
+}
+
+// Config describes one simulated run.
+type Config struct {
+	Beta   float64 // step size β; 0 means 1
+	Seed   uint64  // direction stream seed
+	Stride int     // record the error every Stride iterations; 0 = every n
+}
+
+// Trace is the output of a simulated run: the expected-error surrogate
+// E_j = ‖x_j − x*‖²_A sampled every Stride iterations (index 0 is the
+// initial error), plus the final iterate.
+type Trace struct {
+	Stride int
+	Errors []float64
+	X      []float64
+}
+
+// update records one committed coordinate step for the staleness window.
+type update struct {
+	r     int
+	delta float64 // β·γ applied at coordinate r
+}
+
+// RunConsistent simulates m iterations of the consistent-read iteration
+// (8): γ_j = (x* − x_{k(j)}, d_j)_A, x_{j+1} = x_j + βγ_j d_j, with k(j)
+// supplied by the delay model. The matrix must be square; b defines x*
+// implicitly (the simulator needs only b and A, not x*). A unit diagonal is
+// not required — the general iteration (3) is used.
+func RunConsistent(a *sparse.CSR, b, x0, xstar []float64, m int, model DelayModel, cfg Config) Trace {
+	return run(a, b, x0, xstar, m, model, cfg, true)
+}
+
+// RunInconsistent simulates m iterations of the inconsistent-read
+// iteration (9): the read state is x_{K(j)} where K(j) omits the recent
+// updates the delay model marks missed.
+func RunInconsistent(a *sparse.CSR, b, x0, xstar []float64, m int, model DelayModel, cfg Config) Trace {
+	return run(a, b, x0, xstar, m, model, cfg, false)
+}
+
+func run(a *sparse.CSR, b, x0, xstar []float64, m int, model DelayModel, cfg Config, consistent bool) Trace {
+	n := a.Rows
+	if a.Cols != n || len(b) != n || len(x0) != n || len(xstar) != n {
+		panic(fmt.Sprintf("sim: shape mismatch n=%d len(b)=%d len(x0)=%d len(x*)=%d", n, len(b), len(x0), len(xstar)))
+	}
+	beta := cfg.Beta
+	if beta == 0 {
+		beta = 1
+	}
+	stride := cfg.Stride
+	if stride <= 0 {
+		stride = n
+	}
+	diag := a.Diag()
+	invD := make([]float64, n)
+	for i, d := range diag {
+		if d == 0 {
+			panic(fmt.Sprintf("sim: zero diagonal at row %d", i))
+		}
+		invD[i] = 1 / d
+	}
+
+	x := append([]float64(nil), x0...)
+	stream := rng.NewStream(cfg.Seed)
+	tau := model.Tau()
+	hist := make([]update, 0, tau) // ring of the last ≤τ updates, oldest first
+	miss := make([]bool, tau)
+
+	tr := Trace{Stride: stride}
+	tr.Errors = append(tr.Errors, a.ANormErr(x, xstar)*a.ANormErr(x, xstar))
+
+	for j := 0; j < m; j++ {
+		r := stream.IntnAt(uint64(j), n)
+		// Current-state row product.
+		dot := a.RowDot(r, x)
+		// Subtract the effect of updates the read misses, yielding
+		// A_r·x_{k(j)} (consistent) or A_r·x_{K(j)} (inconsistent).
+		if tau > 0 && len(hist) > 0 {
+			if consistent {
+				lag := model.Lag(uint64(j))
+				if lag > len(hist) {
+					lag = len(hist)
+				}
+				// Miss the last `lag` updates: t = j−lag … j−1.
+				for t := len(hist) - lag; t < len(hist); t++ {
+					u := hist[t]
+					if av := a.At(r, u.r); av != 0 {
+						dot -= av * u.delta
+					}
+				}
+			} else {
+				model.Missed(uint64(j), miss)
+				// miss[i] refers to the update of iteration j−1−i.
+				for i := 0; i < tau && i < len(hist); i++ {
+					if !miss[i] {
+						continue
+					}
+					u := hist[len(hist)-1-i]
+					if av := a.At(r, u.r); av != 0 {
+						dot -= av * u.delta
+					}
+				}
+			}
+		}
+		gamma := (b[r] - dot) * invD[r]
+		delta := beta * gamma
+		x[r] += delta
+		if tau > 0 {
+			if len(hist) == tau {
+				copy(hist, hist[1:])
+				hist[tau-1] = update{r, delta}
+			} else {
+				hist = append(hist, update{r, delta})
+			}
+		}
+		if (j+1)%stride == 0 {
+			e := a.ANormErr(x, xstar)
+			tr.Errors = append(tr.Errors, e*e)
+		}
+	}
+	tr.X = x
+	return tr
+}

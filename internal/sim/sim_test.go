@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/asynclinalg/asyrgs/internal/core"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/spectral"
+	"github.com/asynclinalg/asyrgs/internal/theory"
+	"github.com/asynclinalg/asyrgs/internal/vec"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+func unitLap(t testing.TB, m int) *sparse.CSR {
+	t.Helper()
+	a, _, err := sparse.UnitDiagonalScale(workload.Laplacian2D(m, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestZeroDelayMatchesSynchronousSolver(t *testing.T) {
+	// With τ = 0 the simulator must replay core.Sweeps exactly: same
+	// stream, same update rule, no staleness corrections.
+	a := unitLap(t, 5)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 1)
+	x0 := make([]float64, n)
+	const sweeps = 4
+
+	tr := RunConsistent(a, b, x0, xstar, sweeps*n, ZeroDelay{}, Config{Seed: 9, Beta: 0.7})
+
+	s, err := core.New(a, core.Options{Seed: 9, Beta: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	s.Sweeps(x, b, sweeps)
+	if !vec.Equal(tr.X, x, 1e-13) {
+		t.Fatal("τ=0 simulator diverged from the synchronous solver")
+	}
+}
+
+func TestZeroDelayInconsistentEqualsConsistent(t *testing.T) {
+	a := unitLap(t, 4)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 2)
+	x0 := make([]float64, n)
+	c := RunConsistent(a, b, x0, xstar, 3*n, ZeroDelay{}, Config{Seed: 3})
+	i := RunInconsistent(a, b, x0, xstar, 3*n, ZeroDelay{}, Config{Seed: 3})
+	if !vec.Equal(c.X, i.X, 0) {
+		t.Fatal("with no delays both models are the same iteration")
+	}
+}
+
+func TestFixedDelayConsistentConverges(t *testing.T) {
+	a := unitLap(t, 6)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 4)
+	x0 := make([]float64, n)
+	tau := 4
+	beta := theory.OptimalBeta(theory.Rho(a), tau)
+	tr := RunConsistent(a, b, x0, xstar, 60*n, FixedDelay{T: tau}, Config{Seed: 5, Beta: beta, Stride: n})
+	first, last := tr.Errors[0], tr.Errors[len(tr.Errors)-1]
+	if last > first*1e-3 {
+		t.Fatalf("consistent-read fixed-delay run barely converged: %v -> %v", first, last)
+	}
+}
+
+func TestFixedDelayInconsistentConverges(t *testing.T) {
+	a := unitLap(t, 6)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 6)
+	x0 := make([]float64, n)
+	tau := 4
+	beta := theory.OptimalBetaInconsistent(theory.Rho2(a), tau)
+	tr := RunInconsistent(a, b, x0, xstar, 80*n, FixedDelay{T: tau}, Config{Seed: 7, Beta: beta, Stride: n})
+	first, last := tr.Errors[0], tr.Errors[len(tr.Errors)-1]
+	if last > first*1e-2 {
+		t.Fatalf("inconsistent-read fixed-delay run barely converged: %v -> %v", first, last)
+	}
+}
+
+func TestUniformDelayConverges(t *testing.T) {
+	a := unitLap(t, 6)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 8)
+	x0 := make([]float64, n)
+	model := UniformDelay{T: 6, MissProb: 0.5, Seed: 99}
+	tr := RunInconsistent(a, b, x0, xstar, 60*n, model, Config{Seed: 9, Beta: 0.5, Stride: n})
+	if tr.Errors[len(tr.Errors)-1] > tr.Errors[0]*1e-2 {
+		t.Fatal("uniform-delay run did not converge")
+	}
+}
+
+func TestTraceRecordsStride(t *testing.T) {
+	a := unitLap(t, 4)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 10)
+	tr := RunConsistent(a, b, make([]float64, n), xstar, 5*n, ZeroDelay{}, Config{Seed: 1, Stride: n})
+	if len(tr.Errors) != 6 { // initial + one per sweep
+		t.Fatalf("trace has %d samples, want 6", len(tr.Errors))
+	}
+	if tr.Stride != n {
+		t.Fatalf("stride = %d", tr.Stride)
+	}
+}
+
+func TestTheorem3BoundHolds(t *testing.T) {
+	// The enforced worst-case delay run must respect Theorem 3(b)'s bound
+	// (averaged over direction seeds — the bound is on the expectation).
+	a := unitLap(t, 8)
+	n := a.Rows
+	est := spectral.EstimateSPD(a, 80, 1)
+	tau := 3
+	beta := theory.OptimalBeta(theory.Rho(a), tau)
+	p := theory.NewParams(a, est.LambdaMin, est.LambdaMax, tau, beta)
+	m := 30 * n
+	bound := p.ConsistentBound(m)
+	if bound >= 1 {
+		t.Skip("bound vacuous at this size; covered by the harness test at larger m")
+	}
+	const trials = 10
+	var ratio float64
+	for s := uint64(0); s < trials; s++ {
+		b, xstar := workload.RHSForSolution(a, 40+s)
+		tr := RunConsistent(a, b, make([]float64, n), xstar, m, FixedDelay{T: tau}, Config{Seed: 1000 + s, Beta: beta, Stride: m})
+		ratio += tr.Errors[len(tr.Errors)-1] / tr.Errors[0]
+	}
+	ratio /= trials
+	if ratio > bound {
+		t.Fatalf("measured E_m/E_0 = %v exceeds Theorem 3 bound %v", ratio, bound)
+	}
+}
+
+func TestTheorem4BoundHolds(t *testing.T) {
+	a := unitLap(t, 8)
+	n := a.Rows
+	est := spectral.EstimateSPD(a, 80, 2)
+	tau := 3
+	beta := theory.OptimalBetaInconsistent(theory.Rho2(a), tau)
+	p := theory.NewParams(a, est.LambdaMin, est.LambdaMax, tau, beta)
+	m := 30 * n
+	bound := p.InconsistentBound(m)
+	if bound >= 1 {
+		t.Skip("bound vacuous at this size")
+	}
+	const trials = 10
+	var ratio float64
+	for s := uint64(0); s < trials; s++ {
+		b, xstar := workload.RHSForSolution(a, 60+s)
+		tr := RunInconsistent(a, b, make([]float64, n), xstar, m, FixedDelay{T: tau}, Config{Seed: 2000 + s, Beta: beta, Stride: m})
+		ratio += tr.Errors[len(tr.Errors)-1] / tr.Errors[0]
+	}
+	ratio /= trials
+	if ratio > bound {
+		t.Fatalf("measured E_m/E_0 = %v exceeds Theorem 4 bound %v", ratio, bound)
+	}
+}
+
+func TestDelayModelsRespectTau(t *testing.T) {
+	f := func(seed uint64, j uint64, tRaw uint8) bool {
+		tau := int(tRaw%16) + 1
+		u := UniformDelay{T: tau, MissProb: 0.3, Seed: seed}
+		if lag := u.Lag(j); lag < 0 || lag > tau {
+			return false
+		}
+		miss := make([]bool, tau)
+		u.Missed(j, miss)
+		f := FixedDelay{T: tau}
+		if f.Lag(j) != tau || f.Tau() != tau {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStalenessActuallyChangesTrajectory(t *testing.T) {
+	// Sanity: a delayed run must differ from the synchronous one (the
+	// simulator is not silently ignoring the delay model).
+	a := unitLap(t, 5)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 11)
+	x0 := make([]float64, n)
+	sync := RunConsistent(a, b, x0, xstar, 2*n, ZeroDelay{}, Config{Seed: 13})
+	lag := RunConsistent(a, b, x0, xstar, 2*n, FixedDelay{T: 5}, Config{Seed: 13})
+	if vec.Equal(sync.X, lag.X, 1e-15) {
+		t.Fatal("τ=5 trajectory identical to synchronous — delays not applied")
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	a := unitLap(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	RunConsistent(a, make([]float64, 2), make([]float64, a.Rows), make([]float64, a.Rows), 1, ZeroDelay{}, Config{})
+}
+
+func TestErrorsAreSquaredANorms(t *testing.T) {
+	a := unitLap(t, 4)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 14)
+	x0 := make([]float64, n)
+	tr := RunConsistent(a, b, x0, xstar, n, ZeroDelay{}, Config{Seed: 15, Stride: n})
+	e0 := a.ANormErr(x0, xstar)
+	if math.Abs(tr.Errors[0]-e0*e0) > 1e-12*e0*e0 {
+		t.Fatalf("initial error sample %v, want %v", tr.Errors[0], e0*e0)
+	}
+	eEnd := a.ANormErr(tr.X, xstar)
+	if math.Abs(tr.Errors[len(tr.Errors)-1]-eEnd*eEnd) > 1e-10 {
+		t.Fatal("final error sample inconsistent with final iterate")
+	}
+}
+
+func TestGeometricDelayRespectsTau(t *testing.T) {
+	d := GeometricDelay{T: 10, P0: 0.7, Seed: 1}
+	histo := make([]int, 11)
+	for j := uint64(0); j < 20_000; j++ {
+		lag := d.Lag(j)
+		if lag < 0 || lag > 10 {
+			t.Fatalf("lag %d outside [0,10]", lag)
+		}
+		histo[lag]++
+	}
+	// Geometric shape: lag 0 most frequent, strictly more than lag 3.
+	if histo[0] <= histo[3] {
+		t.Fatalf("geometric delays not decaying: %v", histo)
+	}
+	if d.Tau() != 10 {
+		t.Fatal("Tau accessor wrong")
+	}
+}
+
+func TestGeometricDelayMissedProbabilityDecays(t *testing.T) {
+	d := GeometricDelay{T: 6, P0: 0.5, Seed: 2}
+	miss := make([]bool, 6)
+	counts := make([]int, 6)
+	const trials = 30_000
+	for j := uint64(0); j < trials; j++ {
+		d.Missed(j, miss)
+		for i, m := range miss {
+			if m {
+				counts[i]++
+			}
+		}
+	}
+	// Pr(missed at distance i) = p^{i+1}: must decay with i.
+	if counts[0] <= counts[3] {
+		t.Fatalf("miss probabilities not decaying: %v", counts)
+	}
+	frac0 := float64(counts[0]) / trials
+	if frac0 < 0.45 || frac0 > 0.55 {
+		t.Fatalf("P(miss most recent) = %v, want ≈ 0.5", frac0)
+	}
+}
+
+func TestGeometricDelayConverges(t *testing.T) {
+	a := unitLap(t, 6)
+	n := a.Rows
+	b, xstar := workload.RHSForSolution(a, 20)
+	x0 := make([]float64, n)
+	model := GeometricDelay{T: 8, P0: 0.6, Seed: 21}
+	tr := RunInconsistent(a, b, x0, xstar, 60*n, model, Config{Seed: 22, Beta: 0.7, Stride: n})
+	if tr.Errors[len(tr.Errors)-1] > tr.Errors[0]*1e-2 {
+		t.Fatal("geometric-delay run did not converge")
+	}
+}
+
+func TestGeometricBeatsWorstCase(t *testing.T) {
+	// With the same τ and β, geometric (mostly fresh) delays should give
+	// error no worse than the adversarial fixed-τ delays, on average over
+	// seeds — the paper's "worst case is pessimistic" claim, quantified.
+	a := unitLap(t, 6)
+	n := a.Rows
+	tau := 8
+	beta := 0.7
+	m := 40 * n
+	var geo, fixed float64
+	const trials = 6
+	for s := uint64(0); s < trials; s++ {
+		b, xstar := workload.RHSForSolution(a, 30+s)
+		x0 := make([]float64, n)
+		g := RunInconsistent(a, b, x0, xstar, m, GeometricDelay{T: tau, P0: 0.5, Seed: 40 + s}, Config{Seed: 50 + s, Beta: beta, Stride: m})
+		f := RunInconsistent(a, b, x0, xstar, m, FixedDelay{T: tau}, Config{Seed: 50 + s, Beta: beta, Stride: m})
+		geo += g.Errors[len(g.Errors)-1] / g.Errors[0]
+		fixed += f.Errors[len(f.Errors)-1] / f.Errors[0]
+	}
+	if geo > fixed*1.5 {
+		t.Fatalf("geometric delays (%v) much worse than worst-case (%v)?", geo/trials, fixed/trials)
+	}
+}

@@ -1,0 +1,56 @@
+package sparse
+
+// CSC is a compressed sparse column matrix. Column j occupies
+// RowIdx[ColPtr[j]:ColPtr[j+1]] and Vals[ColPtr[j]:ColPtr[j+1]], with row
+// indices strictly increasing within a column. The §8 least-squares
+// coordinate-descent solver picks a random column per step and needs its
+// non-zero rows; CSC provides them contiguously.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int
+	RowIdx     []int
+	Vals       []float64
+}
+
+// ToCSC converts a CSR matrix to CSC form.
+func (m *CSR) ToCSC() *CSC {
+	t := m.Transpose() // rows of Aᵀ are the columns of A
+	return &CSC{
+		Rows: m.Rows, Cols: m.Cols,
+		ColPtr: t.RowPtr,
+		RowIdx: t.ColIdx,
+		Vals:   t.Vals,
+	}
+}
+
+// Col returns the row indices and values of column j, aliasing storage.
+func (c *CSC) Col(j int) (rows []int, vals []float64) {
+	lo, hi := c.ColPtr[j], c.ColPtr[j+1]
+	return c.RowIdx[lo:hi], c.Vals[lo:hi]
+}
+
+// NNZ returns the number of stored entries.
+func (c *CSC) NNZ() int { return len(c.RowIdx) }
+
+// ColNorm2Sq returns ‖A e_j‖₂², the squared Euclidean norm of column j.
+func (c *CSC) ColNorm2Sq(j int) float64 {
+	var s float64
+	for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
+		s += c.Vals[k] * c.Vals[k]
+	}
+	return s
+}
+
+// MulTransVec computes y ← Aᵀx: y has length Cols, x length Rows.
+func (c *CSC) MulTransVec(y, x []float64) {
+	if len(x) != c.Rows || len(y) != c.Cols {
+		panic("sparse: CSC.MulTransVec shape mismatch")
+	}
+	for j := 0; j < c.Cols; j++ {
+		var s float64
+		for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
+			s += c.Vals[k] * x[c.RowIdx[k]]
+		}
+		y[j] = s
+	}
+}

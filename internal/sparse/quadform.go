@@ -1,0 +1,40 @@
+package sparse
+
+import "math"
+
+// QuadForm returns xᵀ·A·x without forming A·x, streaming the matrix once.
+// For SPD A this is ‖x‖²_A, the squared A-norm that the paper's analysis
+// measures errors in.
+func (m *CSR) QuadForm(x []float64) float64 {
+	if m.Rows != m.Cols || len(x) != m.Rows {
+		panic("sparse: QuadForm needs square A and matching x")
+	}
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		var row float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			row += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		s += x[i] * row
+	}
+	return s
+}
+
+// ANorm returns ‖x‖_A = sqrt(xᵀAx). For numerically tiny negative rounding
+// of the quadratic form it clamps at zero rather than returning NaN.
+func (m *CSR) ANorm(x []float64) float64 {
+	q := m.QuadForm(x)
+	if q < 0 {
+		return 0
+	}
+	return math.Sqrt(q)
+}
+
+// ANormErr returns ‖x−y‖_A.
+func (m *CSR) ANormErr(x, y []float64) float64 {
+	d := make([]float64, len(x))
+	for i := range d {
+		d[i] = x[i] - y[i]
+	}
+	return m.ANorm(d)
+}

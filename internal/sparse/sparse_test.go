@@ -1,0 +1,343 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
+)
+
+// small3 returns a fixed 3×3 SPD test matrix.
+func small3() *CSR {
+	coo := NewCOO(3, 3)
+	coo.Add(0, 0, 4)
+	coo.AddSym(0, 1, 1)
+	coo.Add(1, 1, 3)
+	coo.AddSym(1, 2, -1)
+	coo.Add(2, 2, 5)
+	return coo.ToCSR()
+}
+
+// randomCSR builds a random rows×cols matrix with roughly density·rows·cols
+// entries.
+func randomCSR(rows, cols int, density float64, seed uint64) *CSR {
+	g := rng.NewSequential(seed)
+	coo := NewCOO(rows, cols)
+	target := int(density * float64(rows) * float64(cols))
+	for k := 0; k < target; k++ {
+		coo.Add(g.Intn(rows), g.Intn(cols), 2*g.Float64()-1)
+	}
+	return coo.ToCSR()
+}
+
+func TestCOOToCSRSortsAndDedups(t *testing.T) {
+	coo := NewCOO(2, 3)
+	coo.Add(0, 2, 1)
+	coo.Add(0, 0, 2)
+	coo.Add(0, 2, 3) // duplicate, must sum to 4
+	coo.Add(1, 1, 5)
+	m := coo.ToCSR()
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Fatalf("row 0 cols = %v", cols)
+	}
+	if vals[0] != 2 || vals[1] != 4 {
+		t.Fatalf("row 0 vals = %v", vals)
+	}
+	if m.At(1, 1) != 5 || m.At(1, 0) != 0 {
+		t.Fatal("At lookup wrong")
+	}
+}
+
+func TestCOOBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add should panic")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	m := randomCSR(17, 13, 0.3, 1)
+	d := m.Dense()
+	x := make([]float64, 13)
+	for i := range x {
+		x[i] = float64(i) - 6
+	}
+	y := make([]float64, 17)
+	m.MulVec(y, x)
+	for i := 0; i < 17; i++ {
+		var want float64
+		for j := 0; j < 13; j++ {
+			want += d[i*13+j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("MulVec row %d: got %v want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestMulVecParMatchesSerial(t *testing.T) {
+	m := randomCSR(500, 500, 0.02, 2)
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	want := make([]float64, 500)
+	m.MulVec(want, x)
+	for _, part := range []Partition{PartitionContiguous, PartitionRoundRobin} {
+		got := make([]float64, 500)
+		m.MulVecPar(got, x, 8, part)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("partition %v row %d: got %v want %v", part, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulDenseMatchesPerColumn(t *testing.T) {
+	m := randomCSR(60, 60, 0.1, 3)
+	const c = 5
+	x := make([]float64, 60*c)
+	for i := range x {
+		x[i] = float64(i%11) - 5
+	}
+	y := make([]float64, 60*c)
+	m.MulDense(y, x, c, 4)
+	// Column-by-column reference.
+	xcol := make([]float64, 60)
+	ycol := make([]float64, 60)
+	for j := 0; j < c; j++ {
+		for i := 0; i < 60; i++ {
+			xcol[i] = x[i*c+j]
+		}
+		m.MulVec(ycol, xcol)
+		for i := 0; i < 60; i++ {
+			if math.Abs(y[i*c+j]-ycol[i]) > 1e-12 {
+				t.Fatalf("MulDense (%d,%d): got %v want %v", i, j, y[i*c+j], ycol[i])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := randomCSR(20, 35, 0.15, 4)
+	tt := m.Transpose().Transpose()
+	if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+		t.Fatal("transpose changed shape or nnz")
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			if tt.At(i, j) != vals[k] {
+				t.Fatalf("(AT)T differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeDotIdentity(t *testing.T) {
+	// (Ax, y) == (x, ATy) — the adjoint identity, on random data.
+	f := func(seed uint64) bool {
+		m := randomCSR(15, 12, 0.25, seed)
+		at := m.Transpose()
+		g := rng.NewSequential(seed ^ 0xabc)
+		x := make([]float64, 12)
+		y := make([]float64, 15)
+		for i := range x {
+			x[i] = g.Float64() - 0.5
+		}
+		for i := range y {
+			y[i] = g.Float64() - 0.5
+		}
+		ax := make([]float64, 15)
+		m.MulVec(ax, x)
+		aty := make([]float64, 12)
+		at.MulVec(aty, y)
+		var lhs, rhs float64
+		for i := range y {
+			lhs += ax[i] * y[i]
+		}
+		for i := range x {
+			rhs += x[i] * aty[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAgainstDense(t *testing.T) {
+	a := randomCSR(9, 7, 0.4, 5)
+	b := randomCSR(7, 11, 0.4, 6)
+	c := Mul(a, b)
+	ad, bd := a.Dense(), b.Dense()
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 11; j++ {
+			var want float64
+			for k := 0; k < 7; k++ {
+				want += ad[i*7+k] * bd[k*11+j]
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-12 {
+				t.Fatalf("Mul at (%d,%d): got %v want %v", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestGramIsSymmetricPSD(t *testing.T) {
+	a := randomCSR(40, 25, 0.2, 7)
+	g := Gram(a)
+	if g.Rows != 25 || g.Cols != 25 {
+		t.Fatalf("Gram shape %dx%d", g.Rows, g.Cols)
+	}
+	if !g.IsSymmetric(1e-12) {
+		t.Fatal("Gram must be symmetric")
+	}
+	// PSD: xᵀ(AᵀA)x = ‖Ax‖² ≥ 0 for random x.
+	rg := rng.NewSequential(8)
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, 25)
+		for i := range x {
+			x[i] = rg.Float64() - 0.5
+		}
+		if q := g.QuadForm(x); q < -1e-10 {
+			t.Fatalf("Gram not PSD: quadform = %v", q)
+		}
+	}
+}
+
+func TestGramEqualsTransposeIdentityProperty(t *testing.T) {
+	// (AᵀA)x == Aᵀ(Ax) as operators.
+	f := func(seed uint64) bool {
+		a := randomCSR(20, 14, 0.25, seed)
+		g := Gram(a)
+		at := a.Transpose()
+		v := make([]float64, 14)
+		rg := rng.NewSequential(seed)
+		for i := range v {
+			v[i] = rg.Float64() - 0.5
+		}
+		gv := make([]float64, 14)
+		g.MulVec(gv, v)
+		av := make([]float64, 20)
+		a.MulVec(av, v)
+		atav := make([]float64, 14)
+		at.MulVec(atav, av)
+		for i := range gv {
+			if math.Abs(gv[i]-atav[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagAndStats(t *testing.T) {
+	m := small3()
+	d := m.Diag()
+	if d[0] != 4 || d[1] != 3 || d[2] != 5 {
+		t.Fatalf("Diag = %v", d)
+	}
+	st := m.Stats()
+	if st.Min != 2 || st.Max != 3 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if math.Abs(st.Mean-7.0/3) > 1e-12 {
+		t.Fatalf("Stats.Mean = %v", st.Mean)
+	}
+}
+
+func TestInfFrobNorms(t *testing.T) {
+	m := small3()
+	if got := m.InfNorm(); got != 6 { // row 2: 1+3+... wait row 1: |1|+|3|+|-1| = 5; row 0: 4+1=5; row 2: 1+5=6
+		t.Fatalf("InfNorm = %v, want 6", got)
+	}
+	var want float64
+	for _, v := range m.Vals {
+		want += v * v
+	}
+	if got := m.FrobNorm(); math.Abs(got-math.Sqrt(want)) > 1e-14 {
+		t.Fatalf("FrobNorm = %v", got)
+	}
+}
+
+func TestIdentityAndPrune(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	id.MulVec(y, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("Identity.MulVec must be a copy")
+		}
+	}
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 1e-14)
+	coo.Add(1, 1, 2)
+	pruned := coo.ToCSR().Prune(1e-12)
+	if pruned.NNZ() != 1 || pruned.At(1, 1) != 2 {
+		t.Fatalf("Prune kept %d entries", pruned.NNZ())
+	}
+}
+
+func TestRowDot(t *testing.T) {
+	m := small3()
+	x := []float64{1, 2, 3}
+	if got := m.RowDot(1, x); got != 1*1+3*2-1*3 {
+		t.Fatalf("RowDot = %v, want 4", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := small3()
+	c := m.Clone()
+	c.Vals[0] = 99
+	if m.Vals[0] == 99 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !small3().IsSymmetric(0) {
+		t.Fatal("small3 is symmetric")
+	}
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 1)
+	if coo.ToCSR().IsSymmetric(1e-15) {
+		t.Fatal("strictly upper matrix is not symmetric")
+	}
+	if randomCSR(3, 4, 0.5, 1).IsSymmetric(1) {
+		t.Fatal("non-square can never be symmetric")
+	}
+}
+
+func TestQuadFormMatchesDense(t *testing.T) {
+	m := small3()
+	x := []float64{1, -2, 0.5}
+	ax := make([]float64, 3)
+	m.MulVec(ax, x)
+	var want float64
+	for i := range x {
+		want += x[i] * ax[i]
+	}
+	if got := m.QuadForm(x); math.Abs(got-want) > 1e-14 {
+		t.Fatalf("QuadForm = %v, want %v", got, want)
+	}
+	if got := m.ANorm(x); math.Abs(got-math.Sqrt(want)) > 1e-14 {
+		t.Fatalf("ANorm = %v", got)
+	}
+	if got := m.ANormErr(x, x); got != 0 {
+		t.Fatalf("ANormErr(x,x) = %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+package spectral
+
+import "math"
+
+// tridiagExtremes returns the smallest and largest eigenvalues of the
+// symmetric tridiagonal matrix with diagonal alpha and off-diagonal beta,
+// computed by bisection on Sturm sequences. The Sturm count — the number of
+// sign agreements in the sequence of leading-principal-minor ratios — gives
+// the number of eigenvalues below a shift exactly, so bisection converges
+// unconditionally to machine precision.
+func tridiagExtremes(alpha, beta []float64) (lo, hi float64) {
+	m := len(alpha)
+	if m == 0 {
+		return 0, 0
+	}
+	if m == 1 {
+		return alpha[0], alpha[0]
+	}
+	// Gershgorin bracket for the tridiagonal.
+	glo, ghi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < m; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(beta[i-1])
+		}
+		if i < m-1 {
+			r += math.Abs(beta[i])
+		}
+		if alpha[i]-r < glo {
+			glo = alpha[i] - r
+		}
+		if alpha[i]+r > ghi {
+			ghi = alpha[i] + r
+		}
+	}
+	lo = kthEigenvalue(alpha, beta, 1, glo, ghi)
+	hi = kthEigenvalue(alpha, beta, m, glo, ghi)
+	return lo, hi
+}
+
+// sturmCount returns the number of eigenvalues of the tridiagonal strictly
+// less than x, via the classic LDLᵀ-style recurrence with underflow guard.
+func sturmCount(alpha, beta []float64, x float64) int {
+	count := 0
+	d := 1.0
+	for i := range alpha {
+		var off float64
+		if i > 0 {
+			off = beta[i-1]
+		}
+		d = alpha[i] - x - off*off/d
+		if d == 0 {
+			d = 1e-300
+		}
+		if d < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// kthEigenvalue returns the k-th smallest eigenvalue (1-based) of the
+// tridiagonal by bisection within [glo, ghi].
+func kthEigenvalue(alpha, beta []float64, k int, glo, ghi float64) float64 {
+	lo, hi := glo, ghi
+	// Widen slightly so endpoints are strict brackets.
+	span := hi - lo
+	if span == 0 {
+		span = math.Max(1, math.Abs(lo))
+	}
+	lo -= 1e-12 * span
+	hi += 1e-12 * span
+	for iter := 0; iter < 200 && hi-lo > 1e-14*math.Max(1, math.Abs(hi)); iter++ {
+		mid := 0.5 * (lo + hi)
+		if sturmCount(alpha, beta, mid) < k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}

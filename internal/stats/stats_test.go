@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Fatalf("mean = %v n = %d", s.Mean(), s.N())
+	}
+	if math.Abs(s.Var()-2.5) > 1e-12 {
+		t.Fatalf("var = %v, want 2.5", s.Var())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("range [%v,%v]", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	s.Add(7)
+	if s.Mean() != 7 || s.Var() != 0 || s.Min() != 7 || s.Max() != 7 {
+		t.Fatal("single-sample summary wrong")
+	}
+}
+
+func TestSummaryMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, v := range xs {
+			s.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, v := range xs {
+			ss += (v - mean) * (v - mean)
+		}
+		naiveVar := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return math.Abs(s.Mean()-mean) < 1e-9*math.Max(1, math.Abs(mean)) &&
+			math.Abs(s.Var()-naiveVar) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestPow2HistogramBasics(t *testing.T) {
+	h := Pow2Histogram{Counts: []uint64{90, 5, 3, 2}}
+	if h.Total() != 100 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.FractionZero(); got != 0.9 {
+		t.Fatalf("FractionZero = %v", got)
+	}
+	// 90% of mass is at zero, so the 0.5-quantile bound is 0.
+	if got := h.QuantileUpperBound(0.5); got != 0 {
+		t.Fatalf("q50 bound = %d", got)
+	}
+	// The 0.99 quantile needs 99 observations: 90+5+3 = 98 < 99, so it
+	// lands in bucket 3 → upper edge 8.
+	if got := h.QuantileUpperBound(0.99); got != 8 {
+		t.Fatalf("q99 bound = %d, want 8", got)
+	}
+	mean := h.MeanUpperBound()
+	want := (5.0*2 + 3.0*4 + 2.0*8) / 100
+	if math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("mean bound = %v, want %v", mean, want)
+	}
+	s := h.String()
+	if !strings.Contains(s, "0:90") || !strings.Contains(s, "[4,8):2") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestPow2HistogramEmpty(t *testing.T) {
+	h := Pow2Histogram{}
+	if h.Total() != 0 || h.FractionZero() != 0 || h.QuantileUpperBound(0.5) != 0 || h.MeanUpperBound() != 0 {
+		t.Fatal("empty histogram should be all zeros")
+	}
+	if h.String() != "(empty)" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestQuantileUpperBoundMonotoneProperty(t *testing.T) {
+	f := func(counts []uint16) bool {
+		if len(counts) > 20 {
+			counts = counts[:20]
+		}
+		h := Pow2Histogram{Counts: make([]uint64, len(counts))}
+		for i, c := range counts {
+			h.Counts[i] = uint64(c)
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			b := h.QuantileUpperBound(q)
+			if b < prev {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package theory evaluates the convergence bounds proved in the paper:
+// equation (2) for synchronous Randomized Gauss–Seidel, Theorems 2 and 3
+// for the consistent-read asynchronous model, Theorem 4 for the
+// inconsistent-read model, and Theorem 5 for the asynchronous least-squares
+// iteration. The experiment harness compares measured error trajectories
+// against these curves, and the solvers use OptimalBeta to pick step sizes.
+package theory
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+)
+
+// Rho returns ρ = (1/n)‖A‖∞ = max_l (1/n) Σ_r |A_lr|, the interference
+// parameter of the consistent-read bounds (Theorems 2 and 3).
+func Rho(a *sparse.CSR) float64 {
+	if a.Rows == 0 {
+		return 0
+	}
+	return a.InfNorm() / float64(a.Rows)
+}
+
+// Rho2 returns ρ₂ = max_l (1/n) Σ_r A_lr², the interference parameter of
+// the inconsistent-read bound (Theorem 4). For unit-diagonal matrices
+// ρ₂ ≤ ρ always holds.
+func Rho2(a *sparse.CSR) float64 {
+	if a.Rows == 0 {
+		return 0
+	}
+	var max float64
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Vals[k] * a.Vals[k]
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max / float64(a.Rows)
+}
+
+// NuTau returns ν_τ(β) = 2β − β² − 2ρτβ², the progress coefficient of the
+// consistent-read bound (Theorem 3). With β = 1 it reduces to Theorem 2's
+// ν_τ = 1 − 2ρτ. The bound is useful only when the result is positive.
+func NuTau(beta, rho float64, tau int) float64 {
+	return 2*beta - beta*beta - 2*rho*float64(tau)*beta*beta
+}
+
+// OmegaTau returns ω_τ(β) = 2β(1 − β − ρ₂τ²β/2), the progress coefficient
+// of the inconsistent-read bound (Theorem 4). Positive only for β strictly
+// below 1.
+func OmegaTau(beta, rho2 float64, tau int) float64 {
+	t := float64(tau)
+	return 2 * beta * (1 - beta - rho2*t*t*beta/2)
+}
+
+// OptimalBeta returns β̃ = 1/(1+2ρτ), the step size maximising ν_τ(β)
+// (Theorem 3 discussion). It yields ν_τ(β̃) = 1/(1+2ρτ).
+func OptimalBeta(rho float64, tau int) float64 {
+	return 1 / (1 + 2*rho*float64(tau))
+}
+
+// OptimalBetaInconsistent returns the β maximising ω_τ(β) = 2β − 2β²(1 +
+// ρ₂τ²/2), namely β* = 1/(2 + ρ₂τ²).
+func OptimalBetaInconsistent(rho2 float64, tau int) float64 {
+	t := float64(tau)
+	return 1 / (2 + rho2*t*t)
+}
+
+// Chi returns χ(β) = ρτ²β²λmax(1−λmax/n)^(−2τ)/n, the residual-staleness
+// term of Theorem 3(b) (Theorem 2(b) is the β=1 case).
+func Chi(beta, rho float64, tau int, lambdaMax float64, n int) float64 {
+	t := float64(tau)
+	dmax := 1 - lambdaMax/float64(n)
+	return rho * t * t * beta * beta * lambdaMax * math.Pow(dmax, -2*t) / float64(n)
+}
+
+// Psi returns ψ(β) = ρ₂τ³β²λmax(1−λmax/n)^(−2τ)/n, Theorem 4(b)'s
+// staleness term.
+func Psi(beta, rho2 float64, tau int, lambdaMax float64, n int) float64 {
+	t := float64(tau)
+	dmax := 1 - lambdaMax/float64(n)
+	return rho2 * t * t * t * beta * beta * lambdaMax * math.Pow(dmax, -2*t) / float64(n)
+}
+
+// EpochLength returns T₀ = ⌈log(1/2)/log(1−λmax/n)⌉ ≈ 0.693·n/λmax, the
+// number of iterations after which Theorems 2–4 guarantee a constant-factor
+// reduction of the expected squared A-norm error.
+func EpochLength(lambdaMax float64, n int) int {
+	d := 1 - lambdaMax/float64(n)
+	if d <= 0 || d >= 1 {
+		// λmax ≥ n collapses the epoch to a single iteration; λmax ≤ 0 is
+		// not SPD, but return something sane rather than looping forever.
+		return 1
+	}
+	return int(math.Ceil(math.Log(0.5) / math.Log(d)))
+}
+
+// SyncBound returns the synchronous Randomized Gauss–Seidel bound of
+// equation (2): E_m / E₀ ≤ (1 − β(2−β)λmin/n)^m.
+func SyncBound(m int, beta, lambdaMin float64, n int) float64 {
+	rate := 1 - beta*(2-beta)*lambdaMin/float64(n)
+	if rate < 0 {
+		rate = 0
+	}
+	return math.Pow(rate, float64(m))
+}
+
+// SyncIterations returns the iteration count after which, per Markov's
+// inequality, Pr(‖x_m − x*‖_A ≥ ε‖x₀ − x*‖_A) ≤ δ for synchronous RGS:
+// m ≥ n / (β(2−β)λmin) · ln(1/(δε²)).
+func SyncIterations(eps, delta, beta, lambdaMin float64, n int) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		panic("theory: SyncIterations needs eps > 0 and delta in (0,1)")
+	}
+	m := float64(n) / (beta * (2 - beta) * lambdaMin) * math.Log(1/(delta*eps*eps))
+	return int(math.Ceil(m))
+}
+
+// Params bundles everything needed to evaluate the asynchronous bounds for
+// one (matrix, τ, β) configuration.
+type Params struct {
+	N         int
+	LambdaMin float64
+	LambdaMax float64
+	Kappa     float64
+	Rho       float64
+	Rho2      float64
+	Tau       int
+	Beta      float64
+}
+
+// NewParams computes ρ and ρ₂ from the matrix and fills in the spectral
+// data supplied by the caller (use spectral.EstimateSPD when the exact
+// values are unknown).
+func NewParams(a *sparse.CSR, lambdaMin, lambdaMax float64, tau int, beta float64) Params {
+	return Params{
+		N:         a.Rows,
+		LambdaMin: lambdaMin,
+		LambdaMax: lambdaMax,
+		Kappa:     lambdaMax / lambdaMin,
+		Rho:       Rho(a),
+		Rho2:      Rho2(a),
+		Tau:       tau,
+		Beta:      beta,
+	}
+}
+
+// ConsistentEpochFactor returns the per-T₀-epoch contraction guaranteed by
+// Theorem 3(a): 1 − ν_τ(β)/2κ, together with whether the theorem applies
+// (ν_τ(β) > 0).
+func (p Params) ConsistentEpochFactor() (factor float64, ok bool) {
+	nu := NuTau(p.Beta, p.Rho, p.Tau)
+	if nu <= 0 {
+		return 1, false
+	}
+	return 1 - nu/(2*p.Kappa), true
+}
+
+// InconsistentEpochFactor returns Theorem 4(a)'s per-epoch contraction
+// 1 − ω_τ(β)/2κ and whether ω_τ(β) > 0.
+func (p Params) InconsistentEpochFactor() (factor float64, ok bool) {
+	om := OmegaTau(p.Beta, p.Rho2, p.Tau)
+	if om <= 0 {
+		return 1, false
+	}
+	return 1 - om/(2*p.Kappa), true
+}
+
+// ConsistentBound returns Theorem 3(b)'s bound on E_m/E₀ for iteration m
+// in the free-running (no occasional synchronization) consistent-read
+// model. It returns 1 when the theorem does not apply at these parameters.
+func (p Params) ConsistentBound(m int) float64 {
+	nu := NuTau(p.Beta, p.Rho, p.Tau)
+	if nu <= 0 {
+		return 1
+	}
+	t0 := EpochLength(p.LambdaMax, p.N)
+	T := t0 + p.Tau
+	r := m / T
+	if r < 1 {
+		return 1
+	}
+	first := 1 - nu/(2*p.Kappa)
+	dmax := 1 - p.LambdaMax/float64(p.N)
+	rest := 1 - nu*math.Pow(dmax, float64(p.Tau))/(2*p.Kappa) + Chi(p.Beta, p.Rho, p.Tau, p.LambdaMax, p.N)
+	if rest > 1 {
+		rest = 1 // the bound is vacuous past this point but never grows
+	}
+	if rest < 0 {
+		rest = 0
+	}
+	return first * math.Pow(rest, float64(r-1))
+}
+
+// InconsistentBound returns Theorem 4(b)'s bound on E_m/E₀ for the
+// free-running inconsistent-read model, or 1 when it does not apply.
+func (p Params) InconsistentBound(m int) float64 {
+	om := OmegaTau(p.Beta, p.Rho2, p.Tau)
+	if om <= 0 {
+		return 1
+	}
+	t0 := EpochLength(p.LambdaMax, p.N)
+	T := t0 + p.Tau
+	r := m / T
+	if r < 1 {
+		return 1
+	}
+	first := 1 - om/(2*p.Kappa)
+	dmax := 1 - p.LambdaMax/float64(p.N)
+	rest := 1 - om*math.Pow(dmax, float64(p.Tau))/(2*p.Kappa) + Psi(p.Beta, p.Rho2, p.Tau, p.LambdaMax, p.N)
+	if rest > 1 {
+		rest = 1
+	}
+	if rest < 0 {
+		rest = 0
+	}
+	return first * math.Pow(rest, float64(r-1))
+}
+
+// SyncedBound returns the bound for the occasional-synchronization scheme
+// of the Theorem 2 discussion: after s synchronization epochs of at least
+// max(n, T₀) iterations each, E ≤ (1 − ν_τ(β)/2κ)^s · E₀ (consistent read).
+func (p Params) SyncedBound(epochs int) float64 {
+	f, ok := p.ConsistentEpochFactor()
+	if !ok {
+		return 1
+	}
+	return math.Pow(f, float64(epochs))
+}
+
+// OuterEpochs returns the number of synchronize-and-restart epochs needed
+// to guarantee an expected-error reduction by factor eps² in the scheme of
+// the Theorem 2 discussion: O(κ/ν_τ) epochs.
+func (p Params) OuterEpochs(eps float64) int {
+	f, ok := p.ConsistentEpochFactor()
+	if !ok || eps <= 0 || eps >= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log(eps*eps) / math.Log(f)))
+}
+
+// String renders the parameter set for experiment logs.
+func (p Params) String() string {
+	return fmt.Sprintf("n=%d λmin=%.4g λmax=%.4g κ=%.4g ρ=%.4g (ρ·n=%.3g) ρ₂=%.4g τ=%d β=%.3g",
+		p.N, p.LambdaMin, p.LambdaMax, p.Kappa, p.Rho, p.Rho*float64(p.N), p.Rho2, p.Tau, p.Beta)
+}

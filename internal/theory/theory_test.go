@@ -1,0 +1,271 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+func unitLaplacian(t *testing.T, m int) *sparse.CSR {
+	t.Helper()
+	a, _, err := sparse.UnitDiagonalScale(workload.Laplacian2D(m, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRhoMatchesDefinition(t *testing.T) {
+	a := unitLaplacian(t, 6)
+	n := float64(a.Rows)
+	// ρ = (1/n)·max row abs sum. For the scaled 5-point interior row:
+	// 1 + 4·(1/4) = 2, so ρ·n = 2.
+	if got := Rho(a) * n; math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ρ·n = %v, want 2", got)
+	}
+}
+
+func TestRho2MatchesDefinition(t *testing.T) {
+	a := unitLaplacian(t, 6)
+	n := float64(a.Rows)
+	// interior row: 1 + 4·(1/16) = 1.25
+	if got := Rho2(a) * n; math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("ρ₂·n = %v, want 1.25", got)
+	}
+}
+
+func TestRho2LessEqualRhoForUnitDiagonal(t *testing.T) {
+	// Unit diagonal forces |A_ij| ≤ 1, so A_ij² ≤ |A_ij| entrywise and
+	// ρ₂ ≤ ρ — the paper's §7 discussion.
+	f := func(seed uint64, size uint8) bool {
+		n := int(size%30) + 4
+		b := workload.RandomSPD(n, 5, 1.5, seed)
+		a, _, err := sparse.UnitDiagonalScale(b)
+		if err != nil {
+			return true // skip degenerate draws
+		}
+		return Rho2(a) <= Rho(a)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNuTauSpecialCases(t *testing.T) {
+	// β = 1 reduces to Theorem 2's ν_τ = 1 − 2ρτ.
+	if got := NuTau(1, 0.01, 10); math.Abs(got-(1-0.2)) > 1e-15 {
+		t.Fatalf("NuTau(1) = %v, want 0.8", got)
+	}
+	// τ = 0 (synchronous) gives β(2−β).
+	if got := NuTau(0.5, 123, 0); math.Abs(got-0.75) > 1e-15 {
+		t.Fatalf("NuTau(τ=0) = %v, want 0.75", got)
+	}
+}
+
+func TestOptimalBetaMaximizesNu(t *testing.T) {
+	rho := 0.003
+	tau := 40
+	opt := OptimalBeta(rho, tau)
+	best := NuTau(opt, rho, tau)
+	// ν_τ(β̃) = 1/(1+2ρτ), the closed form from the paper.
+	if math.Abs(best-1/(1+2*rho*float64(tau))) > 1e-12 {
+		t.Fatalf("ν_τ(β̃) = %v, want %v", best, 1/(1+2*rho*float64(tau)))
+	}
+	for _, b := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.2} {
+		if NuTau(b, rho, tau) > best+1e-12 {
+			t.Fatalf("β=%v beats the 'optimal' β̃=%v", b, opt)
+		}
+	}
+}
+
+func TestOptimalBetaInconsistentMaximizesOmega(t *testing.T) {
+	rho2 := 0.002
+	tau := 30
+	opt := OptimalBetaInconsistent(rho2, tau)
+	best := OmegaTau(opt, rho2, tau)
+	for _, b := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 0.99} {
+		if OmegaTau(b, rho2, tau) > best+1e-12 {
+			t.Fatalf("β=%v beats the 'optimal' %v", b, opt)
+		}
+	}
+	if best <= 0 {
+		t.Fatal("ω at the optimum must be positive")
+	}
+}
+
+func TestOmegaRequiresBetaBelowOne(t *testing.T) {
+	// Theorem 4 guarantees convergence only for β < 1: at β = 1 the
+	// progress coefficient is non-positive for any τ ≥ 1.
+	if OmegaTau(1, 0.5, 1) > 0 {
+		t.Fatal("ω_τ(1) must not be positive")
+	}
+}
+
+func TestEpochLength(t *testing.T) {
+	n := 1000
+	lmax := 2.0
+	got := EpochLength(lmax, n)
+	approx := 0.693 * float64(n) / lmax
+	if math.Abs(float64(got)-approx) > 0.01*approx {
+		t.Fatalf("EpochLength = %d, want ≈ %v", got, approx)
+	}
+	// λmax ≥ n: collapses to 1 rather than panicking.
+	if EpochLength(float64(n), n) != 1 {
+		t.Fatal("degenerate epoch should be 1")
+	}
+}
+
+func TestSyncBoundMonotoneDecreasing(t *testing.T) {
+	prev := 1.0
+	for m := 1; m < 2000; m += 100 {
+		b := SyncBound(m, 1, 0.05, 100)
+		if b > prev+1e-15 {
+			t.Fatalf("SyncBound must be nonincreasing; rose at m=%d", m)
+		}
+		prev = b
+	}
+	if prev >= 1 {
+		t.Fatal("SyncBound should actually decrease")
+	}
+}
+
+func TestSyncIterations(t *testing.T) {
+	m := SyncIterations(0.1, 0.1, 1, 0.05, 100)
+	// Markov guarantee: the bound at m must be below δ·ε².
+	if SyncBound(m, 1, 0.05, 100) > 0.1*0.01*1.0001 {
+		t.Fatalf("SyncIterations=%d does not satisfy the Markov bound", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid eps should panic")
+		}
+	}()
+	SyncIterations(0, 0.5, 1, 0.05, 100)
+}
+
+func TestParamsAndEpochFactors(t *testing.T) {
+	a := unitLaplacian(t, 8)
+	p := NewParams(a, 0.05, 1.9, 4, 1)
+	if math.Abs(p.Kappa-38) > 1e-10 {
+		t.Fatalf("κ = %v", p.Kappa)
+	}
+	f, ok := p.ConsistentEpochFactor()
+	if !ok {
+		t.Fatalf("bound should apply: ρ·n=%v τ=%d", p.Rho*float64(p.N), p.Tau)
+	}
+	if f <= 0 || f >= 1 {
+		t.Fatalf("epoch factor %v outside (0,1)", f)
+	}
+	// Larger τ with β=1 eventually breaks 2ρτ < 1.
+	pBad := NewParams(a, 0.05, 1.9, 100_000, 1)
+	if _, ok := pBad.ConsistentEpochFactor(); ok {
+		t.Fatal("bound must be vacuous for huge τ")
+	}
+}
+
+func TestBoundsDecreaseWithM(t *testing.T) {
+	a := unitLaplacian(t, 8)
+	p := NewParams(a, 0.05, 1.9, 2, OptimalBeta(Rho(a), 2))
+	t0 := EpochLength(p.LambdaMax, p.N)
+	T := t0 + p.Tau
+	prev := math.Inf(1)
+	for r := 1; r <= 6; r++ {
+		b := p.ConsistentBound(r * T)
+		if b > prev+1e-15 {
+			t.Fatalf("ConsistentBound rose at r=%d", r)
+		}
+		prev = b
+	}
+	if prev >= 1 {
+		t.Fatal("ConsistentBound should be informative here")
+	}
+	prevI := math.Inf(1)
+	pI := NewParams(a, 0.05, 1.9, 2, OptimalBetaInconsistent(Rho2(a), 2))
+	for r := 1; r <= 6; r++ {
+		b := pI.InconsistentBound(r * T)
+		if b > prevI+1e-15 {
+			t.Fatalf("InconsistentBound rose at r=%d", r)
+		}
+		prevI = b
+	}
+}
+
+func TestConsistentBeatsInconsistentShape(t *testing.T) {
+	// With matched optimal step sizes, the consistent-read epoch factor is
+	// at least as good (≤) as the inconsistent one for τ ≥ 1 on the
+	// reference matrix — the gap the paper's §7 discussion describes.
+	a := unitLaplacian(t, 10)
+	for _, tau := range []int{1, 4, 16} {
+		pc := NewParams(a, 0.05, 1.9, tau, OptimalBeta(Rho(a), tau))
+		pi := NewParams(a, 0.05, 1.9, tau, OptimalBetaInconsistent(Rho2(a), tau))
+		fc, ok1 := pc.ConsistentEpochFactor()
+		fi, ok2 := pi.InconsistentEpochFactor()
+		if !ok1 || !ok2 {
+			t.Fatalf("bounds vacuous at τ=%d", tau)
+		}
+		if fc > fi+1e-12 {
+			t.Fatalf("τ=%d: consistent factor %v worse than inconsistent %v", tau, fc, fi)
+		}
+	}
+}
+
+func TestSyncedBoundAndOuterEpochs(t *testing.T) {
+	a := unitLaplacian(t, 8)
+	p := NewParams(a, 0.05, 1.9, 2, 1)
+	e := p.OuterEpochs(0.01)
+	if e <= 0 {
+		t.Fatal("OuterEpochs should be positive")
+	}
+	if p.SyncedBound(e) > 0.01*0.01*1.001 {
+		t.Fatalf("SyncedBound(%d) = %v does not reach ε²", e, p.SyncedBound(e))
+	}
+}
+
+func TestChiPsiPositiveAndScaling(t *testing.T) {
+	chi1 := Chi(1, 0.001, 10, 2, 1000)
+	chi2 := Chi(1, 0.001, 20, 2, 1000)
+	if chi1 <= 0 || chi2 <= chi1 {
+		t.Fatalf("χ must be positive and grow with τ: %v %v", chi1, chi2)
+	}
+	psi1 := Psi(0.5, 0.001, 10, 2, 1000)
+	psi2 := Psi(0.5, 0.001, 20, 2, 1000)
+	if psi1 <= 0 || psi2 <= psi1 {
+		t.Fatalf("ψ must be positive and grow with τ: %v %v", psi1, psi2)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	a := unitLaplacian(t, 4)
+	s := NewParams(a, 0.1, 1.9, 3, 0.5).String()
+	if s == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestRhoEmptyMatrix(t *testing.T) {
+	empty := sparse.NewCOO(0, 0).ToCSR()
+	if Rho(empty) != 0 || Rho2(empty) != 0 {
+		t.Fatal("empty matrix should have zero interference")
+	}
+}
+
+func TestNuOmegaRandomConsistency(t *testing.T) {
+	// ν_τ(β) ≥ ω_τ(β) cannot be asserted in general, but both must agree
+	// at τ=0 up to their definitions: ν_0(β) = β(2−β), ω_0(β) = 2β(1−β).
+	g := rng.NewSequential(9)
+	for i := 0; i < 100; i++ {
+		beta := g.Float64()
+		nu := NuTau(beta, 0.5, 0)
+		om := OmegaTau(beta, 0.5, 0)
+		if math.Abs(nu-beta*(2-beta)) > 1e-12 {
+			t.Fatalf("ν_0 mismatch at β=%v", beta)
+		}
+		if math.Abs(om-2*beta*(1-beta)) > 1e-12 {
+			t.Fatalf("ω_0 mismatch at β=%v", beta)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package vec provides dense vector kernels (BLAS level-1 style) and a
+// row-major dense block type used for multi-right-hand-side solves.
+//
+// All operations are written against plain []float64 slices so that they
+// compose with the sparse kernels and the atomic shared-state solvers
+// without copies. Parallel variants split work across goroutines; they are
+// intended for the long vectors that arise in the solvers (n in the
+// thousands or more) and fall back to the serial path for short inputs.
+package vec
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Dot returns the Euclidean inner product x·y. It panics if the lengths
+// differ, because a silent truncation would corrupt a solver invisibly.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Nrm2 returns the Euclidean norm ‖x‖₂ using scaled accumulation to avoid
+// overflow/underflow for extreme magnitudes.
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Axpy computes y ← y + alpha·x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal computes x ← alpha·x.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst; the lengths must match.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vec: Copy length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Fill sets every entry of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Sub computes dst ← x − y.
+func Sub(dst, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("vec: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Add computes dst ← x + y.
+func Add(dst, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("vec: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// MaxAbs returns max_i |x_i|, or 0 for an empty slice.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the entries of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Equal reports whether x and y agree entrywise to within tol (absolute).
+func Equal(x, y []float64, tol float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i, v := range x {
+		if math.Abs(v-y[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// RelErr returns ‖x−y‖₂ / ‖y‖₂, or ‖x‖₂ when y is zero. It is the
+// convergence metric used throughout the experiment harness.
+func RelErr(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: RelErr length mismatch")
+	}
+	d := make([]float64, len(x))
+	Sub(d, x, y)
+	ny := Nrm2(y)
+	if ny == 0 {
+		return Nrm2(d)
+	}
+	return Nrm2(d) / ny
+}
+
+// parallelThreshold is the minimum length for which the parallel kernels
+// split work; below it goroutine overhead dominates.
+const parallelThreshold = 4096
+
+// parallelFor runs body over [0,n) split into roughly equal contiguous
+// chunks, one per available CPU. body receives the half-open range [lo,hi).
+func parallelFor(n int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers <= 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// DotPar is a parallel Dot for long vectors.
+func DotPar(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: DotPar length mismatch %d != %d", len(x), len(y)))
+	}
+	n := len(x)
+	if n < parallelThreshold {
+		return Dot(x, y)
+	}
+	var mu sync.Mutex
+	var total float64
+	parallelFor(n, func(lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i] * y[i]
+		}
+		mu.Lock()
+		total += s
+		mu.Unlock()
+	})
+	return total
+}
+
+// AxpyPar is a parallel Axpy for long vectors.
+func AxpyPar(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: AxpyPar length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	parallelFor(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}

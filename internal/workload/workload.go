@@ -1,0 +1,367 @@
+// Package workload generates the test problems of the experiment suite.
+//
+// The paper's evaluation matrix is proprietary: the Gram matrix of a
+// 120,147-term term-frequency matrix from a social-media regression task
+// (172.9M non-zeros, max row 117,182, mean 1,439, min 1 — highly skewed,
+// ill-conditioned, essentially unstructured). SocialGram reproduces that
+// *shape* at laptop scale: a synthetic term–document matrix with Zipf term
+// popularity and Zipf document lengths whose Gram matrix inherits the
+// skew (popular terms co-occur with everything → near-full rows; rare
+// terms → near-empty rows), positive semidefiniteness by construction, and
+// poor conditioning. The remaining generators (grid Laplacians, random
+// diagonally dominant SPD, random overdetermined systems) cover the
+// paper's "reference scenario" — bounded row counts C1…C2 with small
+// C2/C1 — where the theory is sharpest.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/vec"
+)
+
+// SocialGramOptions shape the synthetic social-media Gram matrix.
+type SocialGramOptions struct {
+	// Terms is the Gram dimension n (the paper's 120,147, scaled down).
+	Terms int
+	// Docs is the number of documents (rows of the term–document matrix).
+	Docs int
+	// MeanDocLen is the mean number of distinct terms per document.
+	MeanDocLen int
+	// ZipfS is the exponent of the term-popularity distribution (≈1
+	// matches natural language).
+	ZipfS float64
+	// Ridge is added to the diagonal to make the Gram matrix strictly
+	// positive definite (it also models the regression regularizer that a
+	// real training task applies). Relative to the diagonal mean.
+	Ridge float64
+	// Binary stores term incidence (0/1) instead of term frequency.
+	// Binary incidence strengthens the relative off-diagonal coupling
+	// (popular term pairs co-occur in almost every document), matching
+	// the severe ill-conditioning of the paper's matrix; frequency
+	// weighting inflates the diagonal and makes the system easier.
+	Binary bool
+	// Topics, when positive, draws each document mostly from one of
+	// Topics latent term blocks instead of the flat Zipf distribution.
+	// Topical correlation makes the Gram matrix nearly low-rank — the
+	// ridge floors the small eigenvalues — reproducing the severe
+	// ill-conditioning the paper reports for its real text data.
+	Topics int
+	// TopicMix is the probability that a word is drawn from the
+	// document's topic block rather than the global distribution
+	// (default 0.8 when Topics > 0).
+	TopicMix float64
+	// Seed keys all randomness.
+	Seed uint64
+}
+
+// DefaultSocialGram returns the options used by the experiment harness: a
+// laptop-scale analogue of the paper's matrix.
+func DefaultSocialGram(terms int, seed uint64) SocialGramOptions {
+	return SocialGramOptions{
+		Terms:      terms,
+		Docs:       3 * terms,
+		MeanDocLen: 10,
+		ZipfS:      1.2,
+		Ridge:      0.01,
+		Binary:     true,
+		Topics:     max(8, terms/100),
+		TopicMix:   0.8,
+		Seed:       seed,
+	}
+}
+
+// SocialGram builds the synthetic term–document matrix G and returns its
+// Gram matrix A = GᵀG + ridge·mean(diag)·I (SPD, skewed rows) together
+// with G itself (useful for the least-squares experiments).
+func SocialGram(o SocialGramOptions) (gram, termDoc *sparse.CSR) {
+	if o.Terms <= 1 || o.Docs <= 0 {
+		panic(fmt.Sprintf("workload: SocialGram bad sizes terms=%d docs=%d", o.Terms, o.Docs))
+	}
+	g := rng.NewSequential(o.Seed)
+	// Zipf CDF over terms: p(t) ∝ (t+1)^{-s}.
+	cdf := make([]float64, o.Terms)
+	var total float64
+	for t := 0; t < o.Terms; t++ {
+		total += math.Pow(float64(t+1), -o.ZipfS)
+		cdf[t] = total
+	}
+	for t := range cdf {
+		cdf[t] /= total
+	}
+	sampleTerm := func() int {
+		u := g.Float64()
+		lo, hi := 0, o.Terms-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	mix := o.TopicMix
+	if mix == 0 {
+		mix = 0.8
+	}
+	// Topic blocks partition the term ids; a document's topical words are
+	// Zipf-distributed within its block.
+	sampleTopicTerm := func(topic int) int {
+		blockSize := (o.Terms + o.Topics - 1) / o.Topics
+		lo := topic * blockSize
+		hi := lo + blockSize
+		if hi > o.Terms {
+			hi = o.Terms
+		}
+		if hi <= lo {
+			return sampleTerm()
+		}
+		// Zipf within the block via inverse-power transform of a uniform:
+		// cheap and close enough for workload purposes.
+		u := g.Float64()
+		span := float64(hi - lo)
+		idx := int(span * math.Pow(u, 2)) // quadratic bias toward the block head
+		if idx >= hi-lo {
+			idx = hi - lo - 1
+		}
+		return lo + idx
+	}
+
+	coo := sparse.NewCOO(o.Docs, o.Terms)
+	seen := make(map[int]int, o.MeanDocLen*4)
+	for d := 0; d < o.Docs; d++ {
+		// Document length: geometric-ish around the mean, at least 1.
+		length := 1 + int(float64(o.MeanDocLen)*(-math.Log(1-g.Float64())))
+		if length > o.Terms {
+			length = o.Terms
+		}
+		topic := 0
+		if o.Topics > 0 {
+			topic = g.Intn(o.Topics)
+		}
+		clear(seen)
+		for w := 0; w < length; w++ {
+			if o.Topics > 0 && g.Float64() < mix {
+				seen[sampleTopicTerm(topic)]++
+			} else {
+				seen[sampleTerm()]++ // term frequency accumulates
+			}
+		}
+		for t, f := range seen {
+			if o.Binary {
+				coo.Add(d, t, 1)
+			} else {
+				coo.Add(d, t, float64(f))
+			}
+		}
+	}
+	termDoc = coo.ToCSR()
+	gram = sparse.Gram(termDoc)
+
+	// Guarantee every diagonal entry exists and is strictly positive: a
+	// term that never occurred gets a pure-ridge row (the paper removed
+	// identically-zero rows/columns; the ridge keeps dimensions stable
+	// instead, which does not change the solver behaviour on the support).
+	diag := gram.Diag()
+	var mean float64
+	cnt := 0
+	for _, v := range diag {
+		if v > 0 {
+			mean += v
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		mean /= float64(cnt)
+	} else {
+		mean = 1
+	}
+	ridge := o.Ridge * mean
+	if ridge <= 0 {
+		ridge = 1e-8 * mean
+	}
+	add := sparse.NewCOO(o.Terms, o.Terms)
+	for i := 0; i < o.Terms; i++ {
+		add.Add(i, i, ridge)
+		cols, vals := gram.Row(i)
+		for k, j := range cols {
+			add.Add(i, j, vals[k])
+		}
+	}
+	gram = add.ToCSR()
+	return gram, termDoc
+}
+
+// Laplacian2D returns the (nx·ny)×(nx·ny) 5-point Dirichlet Laplacian of
+// an nx×ny grid: the canonical reference-scenario SPD matrix (C1=3, C2=5).
+func Laplacian2D(nx, ny int) *sparse.CSR {
+	n := nx * ny
+	coo := sparse.NewCOO(n, n)
+	id := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			c := id(i, j)
+			coo.Add(c, c, 4)
+			if i > 0 {
+				coo.Add(c, id(i-1, j), -1)
+			}
+			if i < nx-1 {
+				coo.Add(c, id(i+1, j), -1)
+			}
+			if j > 0 {
+				coo.Add(c, id(i, j-1), -1)
+			}
+			if j < ny-1 {
+				coo.Add(c, id(i, j+1), -1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Laplacian3D returns the 7-point Dirichlet Laplacian of an nx×ny×nz grid.
+func Laplacian3D(nx, ny, nz int) *sparse.CSR {
+	n := nx * ny * nz
+	coo := sparse.NewCOO(n, n)
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				c := id(i, j, k)
+				coo.Add(c, c, 6)
+				if i > 0 {
+					coo.Add(c, id(i-1, j, k), -1)
+				}
+				if i < nx-1 {
+					coo.Add(c, id(i+1, j, k), -1)
+				}
+				if j > 0 {
+					coo.Add(c, id(i, j-1, k), -1)
+				}
+				if j < ny-1 {
+					coo.Add(c, id(i, j+1, k), -1)
+				}
+				if k > 0 {
+					coo.Add(c, id(i, j, k-1), -1)
+				}
+				if k < nz-1 {
+					coo.Add(c, id(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// RandomSPD returns an n×n symmetric strictly diagonally dominant (hence
+// SPD) matrix with about nnzPerRow off-diagonal entries per row, values
+// uniform in [-1,1], and diagonal = dominance × (row absolute sum).
+// dominance must exceed 1.
+func RandomSPD(n, nnzPerRow int, dominance float64, seed uint64) *sparse.CSR {
+	if dominance <= 1 {
+		panic("workload: RandomSPD needs dominance > 1")
+	}
+	g := rng.NewSequential(seed)
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow/2+1; k++ {
+			j := g.Intn(n)
+			if j == i {
+				continue
+			}
+			v := 2*g.Float64() - 1
+			coo.AddSym(i, j, v)
+		}
+	}
+	m := coo.ToCSR()
+	// Set the diagonal from the assembled off-diagonal row sums.
+	final := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		cols, vals := m.Row(i)
+		var sum float64
+		for k, j := range cols {
+			if j != i {
+				sum += math.Abs(vals[k])
+				final.Add(i, j, vals[k])
+			}
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		final.Add(i, i, dominance*sum)
+	}
+	return final.ToCSR()
+}
+
+// RandomOverdetermined returns a rows×cols full-column-rank-ish sparse
+// matrix for the least-squares experiments: each row holds nnzPerRow
+// uniform entries, and every column receives at least one entry so no
+// column is empty.
+func RandomOverdetermined(rows, cols, nnzPerRow int, seed uint64) *sparse.CSR {
+	if rows < cols {
+		panic("workload: RandomOverdetermined needs rows >= cols")
+	}
+	g := rng.NewSequential(seed)
+	coo := sparse.NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			coo.Add(i, g.Intn(cols), 2*g.Float64()-1)
+		}
+	}
+	// Guarantee full column support (and help full rank) with a scattered
+	// strong diagonal band.
+	for j := 0; j < cols; j++ {
+		coo.Add(j, j, 2+g.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// RHSForSolution returns b = A·x* for a random solution x* with entries
+// uniform in [-1,1], along with x*. Experiments that measure A-norm error
+// need a known exact solution; the paper built one the same way (solve to
+// low residual, then re-pose with b = A·x*).
+func RHSForSolution(a *sparse.CSR, seed uint64) (b, xstar []float64) {
+	g := rng.NewSequential(seed)
+	xstar = make([]float64, a.Cols)
+	for i := range xstar {
+		xstar[i] = 2*g.Float64() - 1
+	}
+	b = make([]float64, a.Rows)
+	a.MulVec(b, xstar)
+	return b, xstar
+}
+
+// RandomRHS returns a right-hand side with entries uniform in [-1,1].
+func RandomRHS(n int, seed uint64) []float64 {
+	g := rng.NewSequential(seed)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 2*g.Float64() - 1
+	}
+	return b
+}
+
+// MultiRHS returns an n×cols row-major block of uniform [-1,1] right-hand
+// sides — the analogue of the paper's 51 label-prediction columns.
+func MultiRHS(n, cols int, seed uint64) *vec.Dense {
+	g := rng.NewSequential(seed)
+	d := vec.NewDense(n, cols)
+	for i := range d.Data {
+		d.Data[i] = 2*g.Float64() - 1
+	}
+	return d
+}
+
+// Describe formats the headline statistics of a matrix the way the paper
+// reports its test system (size, non-zeros, row-size skew).
+func Describe(name string, a *sparse.CSR) string {
+	st := a.Stats()
+	return fmt.Sprintf("%s: %d x %d, nnz=%d, row nnz min/mean/max = %d/%.1f/%d",
+		name, a.Rows, a.Cols, a.NNZ(), st.Min, st.Mean, st.Max)
+}
