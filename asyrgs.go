@@ -30,6 +30,17 @@
 //	pre := asyrgs.PrecondFunc(func(z, r []float64) { s.Precondition(z, r, 2) })
 //	res, err := asyrgs.FlexibleCG(a, x, b, pre, asyrgs.FCGOptions{Tol: 1e-8})
 //
+// # Unified method registry and serving layer
+//
+// Every solver family is also registered in a unified method registry
+// (see SolveMethod, GetMethod, MethodNames): one context-cancellable
+// Solve entry point with normalized options and results, which
+// cmd/asysolve and the bench ablation tables dispatch through. The
+// cmd/asyrgsd daemon serves the registry over HTTP JSON — generator-spec
+// or MatrixMarket solve requests, an LRU of prepared systems keyed by
+// matrix hash, a worker-pool admission gate, and /healthz and /stats
+// endpoints.
+//
 // The experiment harness that regenerates every table and figure of the
 // paper lives in cmd/asybench; DESIGN.md maps each experiment to the
 // modules that implement it.
@@ -41,6 +52,7 @@ import (
 	"github.com/asynclinalg/asyrgs/internal/kaczmarz"
 	"github.com/asynclinalg/asyrgs/internal/krylov"
 	"github.com/asynclinalg/asyrgs/internal/lsq"
+	"github.com/asynclinalg/asyrgs/internal/method"
 	"github.com/asynclinalg/asyrgs/internal/sim"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/spectral"
@@ -201,6 +213,44 @@ var (
 	// EstimateCondition estimates κ with power + CG-based inverse power
 	// iteration (the style of the paper's condition-estimator reference).
 	EstimateCondition = spectral.CondEst
+)
+
+// Unified solver-method registry (internal/method): every solver family
+// behind one uniform, context-cancellable entry point.
+type (
+	// SolveMethod is one registered solver family; Solve(ctx, A, b, x,
+	// opts) iterates on x in place and honours context cancellation.
+	SolveMethod = method.Method
+	// MethodOpts are the normalized solve options shared by every method.
+	MethodOpts = method.Opts
+	// MethodResult is the normalized outcome (residual, A-norm error,
+	// sweeps, wall time, observed asynchrony).
+	MethodResult = method.Result
+	// MethodKind classifies a method's accepted systems (SPD or
+	// least squares).
+	MethodKind = method.Kind
+)
+
+// Registry access and method-kind constants.
+var (
+	// GetMethod looks a method up by registry name (e.g. "asyrgs", "cg",
+	// "fcg", "kaczmarz", "lsqcd").
+	GetMethod = method.Get
+	// MethodNames lists every registered method name, sorted.
+	MethodNames = method.Names
+	// MethodsByKind lists the registered methods of one kind.
+	MethodsByKind = method.ByKind
+	// RegisterMethod adds a custom method to the registry; drivers, the
+	// asyrgsd daemon, and the conformance suite pick it up by name.
+	RegisterMethod = method.Register
+	// ErrUnknownMethod is returned by GetMethod for unregistered names.
+	ErrUnknownMethod = method.ErrUnknownMethod
+)
+
+// Method kinds.
+const (
+	MethodSPD          = method.SPD
+	MethodLeastSquares = method.LeastSquares
 )
 
 // Guarantee is the a-priori certificate returned by

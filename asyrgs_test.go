@@ -2,6 +2,8 @@ package asyrgs_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"runtime"
 	"testing"
 
@@ -271,5 +273,53 @@ func TestFacadeDistributedSolve(t *testing.T) {
 	}
 	if res.MessagesSent == 0 {
 		t.Fatal("distributed run must communicate")
+	}
+}
+
+// TestFacadeMethodRegistry exercises the unified method registry through
+// the root re-exports: lookup, kind filtering, a cancellable solve, and
+// custom registration.
+func TestFacadeMethodRegistry(t *testing.T) {
+	names := asyrgs.MethodNames()
+	if len(names) < 10 {
+		t.Fatalf("registry unexpectedly small: %v", names)
+	}
+	if _, err := asyrgs.GetMethod("no-such"); !errors.Is(err, asyrgs.ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod, got %v", err)
+	}
+
+	a := asyrgs.RandomSPD(150, 5, 1.5, 31)
+	b, xstar := asyrgs.RHSForSolution(a, 32)
+	for _, name := range []string{"asyrgs", "cg", "fcg"} {
+		m, err := asyrgs.GetMethod(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind() != asyrgs.MethodSPD {
+			t.Fatalf("%s misclassified as %v", name, m.Kind())
+		}
+		x := make([]float64, 150)
+		res, err := m.Solve(context.Background(), a, b, x, asyrgs.MethodOpts{
+			Tol: 1e-8, MaxSweeps: 2000, Workers: 2, XStar: xstar,
+		})
+		if err != nil || !res.Converged {
+			t.Fatalf("%s failed: %+v %v", name, res, err)
+		}
+		if res.ANormErr > 1e-4 {
+			t.Fatalf("%s: A-norm error %v too large", name, res.ANormErr)
+		}
+	}
+
+	// A cancelled context stops a registry method with a wrapped error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, _ := asyrgs.GetMethod("rgs")
+	x := make([]float64, 150)
+	if _, err := m.Solve(ctx, a, b, x, asyrgs.MethodOpts{Tol: 1e-30, MaxSweeps: 1 << 20}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+
+	if len(asyrgs.MethodsByKind(asyrgs.MethodLeastSquares)) < 2 {
+		t.Fatal("least-squares methods missing from the registry")
 	}
 }

@@ -1,0 +1,82 @@
+// Command asyrgsd is the asynchronous-solver serving daemon: an HTTP
+// JSON API over the unified method registry. It accepts
+// MatrixMarket-or-generator-spec solve requests, keeps an LRU of prepared
+// systems keyed by matrix hash so repeated right-hand sides skip setup,
+// and bounds concurrency with a worker-pool admission gate.
+//
+// Usage:
+//
+//	asyrgsd [-addr :8080] [-max-concurrent P] [-cache 16]
+//	        [-queue-timeout 5s] [-solve-timeout 60s] [-max-dim 1048576]
+//
+// Endpoints: POST /solve, GET /methods, GET /healthz, GET /stats.
+//
+// Example:
+//
+//	curl -s localhost:8080/solve -d '{
+//	  "matrix": {"kind": "laplacian2d", "n": 64},
+//	  "method": "asyrgs", "tol": 1e-6, "max_sweeps": 2000
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxConc      = flag.Int("max-concurrent", 0, "max in-flight solves (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 16, "prepared-system LRU capacity")
+		queueTimeout = flag.Duration("queue-timeout", 5*time.Second, "max wait for an admission slot")
+		solveTimeout = flag.Duration("solve-timeout", 60*time.Second, "per-request solve budget")
+		maxDim       = flag.Int("max-dim", 1<<20, "largest accepted matrix dimension")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *maxConc,
+		CacheSize:     *cacheSize,
+		QueueTimeout:  *queueTimeout,
+		SolveTimeout:  *solveTimeout,
+		MaxDim:        *maxDim,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to finish draining in-flight solves before exiting.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("asyrgsd listening on %s (methods: %s)\n", *addr, strings.Join(method.Names(), ", "))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("asyrgsd: %v", err)
+	}
+	stop()
+	<-drained
+}

@@ -1,10 +1,13 @@
-// Command asysolve solves a linear system read from MatrixMarket files.
+// Command asysolve solves a linear system read from MatrixMarket files,
+// dispatching through the unified solver registry (internal/method): any
+// registered method is available by name, with uniform options and
+// reporting.
 //
 // Usage:
 //
-//	asysolve -A matrix.mtx [-b rhs.mtx] [-method asyrgs|rgs|cg|fcg|jacobi|gs|kaczmarz]
+//	asysolve -A matrix.mtx [-b rhs.mtx] [-method name | -method list]
 //	         [-tol 1e-6] [-maxsweeps 1000] [-workers P] [-beta b] [-inner k]
-//	         [-o solution.mtx]
+//	         [-timeout d] [-o solution.mtx]
 //
 // When -b is omitted a random right-hand side with known solution is
 // generated, and the final A-norm error is reported alongside the
@@ -13,15 +16,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
-	"github.com/asynclinalg/asyrgs/internal/core"
-	"github.com/asynclinalg/asyrgs/internal/kaczmarz"
-	"github.com/asynclinalg/asyrgs/internal/krylov"
+	"github.com/asynclinalg/asyrgs/internal/method"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/workload"
 )
@@ -33,18 +36,31 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	var (
-		matPath   = flag.String("A", "", "MatrixMarket file with the coefficient matrix (required)")
-		rhsPath   = flag.String("b", "", "MatrixMarket file with the right-hand side (n×1); random if omitted")
-		method    = flag.String("method", "asyrgs", "solver: asyrgs|rgs|cg|fcg|jacobi|gs|kaczmarz")
-		tol       = flag.Float64("tol", 1e-6, "relative residual tolerance")
-		maxSweeps = flag.Int("maxsweeps", 1000, "sweep/iteration budget")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
-		beta      = flag.Float64("beta", 1, "step size β in (0,2)")
-		inner     = flag.Int("inner", 2, "preconditioner sweeps for fcg")
-		outPath   = flag.String("o", "", "write the solution as an n×1 MatrixMarket file")
-		seed      = flag.Uint64("seed", 1, "seed for directions and generated RHS")
+		matPath    = flag.String("A", "", "MatrixMarket file with the coefficient matrix (required)")
+		rhsPath    = flag.String("b", "", "MatrixMarket file with the right-hand side (n×1); random if omitted")
+		methodName = flag.String("method", "asyrgs", "registry method name, or 'list' to print the roster")
+		tol        = flag.Float64("tol", 1e-6, "relative residual tolerance")
+		maxSweeps  = flag.Int("maxsweeps", 1000, "sweep/iteration budget")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
+		beta       = flag.Float64("beta", 0, "step size β in (0,2); 0 = method default")
+		inner      = flag.Int("inner", 2, "preconditioner sweeps for fcg")
+		checkEvery = flag.Int("check", 5, "sweeps between residual checks")
+		timeout    = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+		outPath    = flag.String("o", "", "write the solution as an n×1 MatrixMarket file")
+		seed       = flag.Uint64("seed", 1, "seed for directions and generated RHS")
 	)
 	flag.Parse()
+
+	if *methodName == "list" {
+		for _, m := range method.All() {
+			fmt.Printf("%-20s %s\n", m.Name(), m.Kind())
+		}
+		return
+	}
+	m, err := method.Get(*methodName)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	if *matPath == "" {
 		fatalf("-A is required")
 	}
@@ -74,65 +90,41 @@ func main() {
 			fatalf("right-hand side has %d entries, matrix has %d rows", len(b), a.Rows)
 		}
 	} else {
-		b, xstar = workload.RHSForSolution(a, *seed)
-		fmt.Println("generated random RHS with known solution (b = A·x*)")
+		if m.Kind() == method.SPD {
+			b, xstar = workload.RHSForSolution(a, *seed)
+			fmt.Println("generated random RHS with known solution (b = A·x*)")
+		} else {
+			b = workload.RandomRHS(a.Rows, *seed)
+			fmt.Println("generated random RHS")
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	x := make([]float64, a.Cols)
-	start := time.Now()
-	var residual float64
-	var converged bool
-
-	switch *method {
-	case "asyrgs", "rgs":
-		w := *workers
-		if *method == "rgs" {
-			w = 1
-		}
-		s, err := core.New(a, core.Options{Workers: w, Beta: *beta, Seed: *seed, MeasureDelay: true})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		res, _ := s.SolveAsync(x, b, *tol, *maxSweeps, 5)
-		residual, converged = res.Residual, res.Converged
-		fmt.Printf("sweeps=%d observed-tau=%d\n", res.Sweeps, res.ObservedTau)
-	case "cg":
-		res, _ := krylov.CG(a, x, b, krylov.CGOptions{Tol: *tol, MaxIter: *maxSweeps, Workers: *workers, Partition: sparse.PartitionRoundRobin})
-		residual, converged = res.Residual, res.Converged
-		fmt.Printf("iterations=%d\n", res.Iterations)
-	case "fcg":
-		s, err := core.New(a, core.Options{Workers: *workers, Beta: *beta, Seed: *seed})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		pre := krylov.PrecondFunc(func(z, r []float64) { s.Precondition(z, r, *inner) })
-		res, _ := krylov.FlexibleCG(a, x, b, pre, krylov.FCGOptions{Tol: *tol, MaxIter: *maxSweeps, Workers: *workers, Partition: sparse.PartitionRoundRobin})
-		residual, converged = res.Residual, res.Converged
-		fmt.Printf("outer iterations=%d (inner sweeps=%d)\n", res.Iterations, *inner)
-	case "jacobi":
-		res := krylov.Jacobi(a, x, b, *maxSweeps, *tol, *workers)
-		residual, converged = res.Residual, res.Converged
-		fmt.Printf("sweeps=%d\n", res.Sweeps)
-	case "gs":
-		res := krylov.GaussSeidel(a, x, b, *maxSweeps, *tol)
-		residual, converged = res.Residual, res.Converged
-		fmt.Printf("sweeps=%d\n", res.Sweeps)
-	case "kaczmarz":
-		s, err := kaczmarz.New(a, kaczmarz.Options{Workers: *workers, Seed: *seed, Beta: *beta})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		iters, res, errSolve := s.Solve(x, b, *tol, *maxSweeps*a.Rows, a.Rows)
-		residual, converged = res, errSolve == nil
-		fmt.Printf("iterations=%d\n", iters)
-	default:
-		fatalf("unknown method %q", *method)
+	res, err := m.Solve(ctx, a, b, x, method.Opts{
+		Tol: *tol, MaxSweeps: *maxSweeps, Workers: *workers,
+		Beta: *beta, Seed: *seed, Inner: *inner, CheckEvery: *checkEvery,
+		XStar: xstar, MeasureDelay: true,
+	})
+	if err != nil && !errors.Is(err, method.ErrNotConverged) {
+		fatalf("%v", err)
 	}
 
+	fmt.Printf("sweeps=%d iterations=%d", res.Sweeps, res.Iterations)
+	if res.ObservedTau > 0 {
+		fmt.Printf(" observed-tau=%d", res.ObservedTau)
+	}
+	fmt.Println()
 	fmt.Printf("method=%s time=%v relative-residual=%.3e converged=%v\n",
-		*method, time.Since(start).Round(time.Millisecond), residual, converged)
+		res.Method, res.Wall.Round(time.Millisecond), res.Residual, res.Converged)
 	if xstar != nil && a.Rows == a.Cols {
-		fmt.Printf("relative A-norm error=%.3e\n", a.ANormErr(x, xstar)/a.ANorm(xstar))
+		fmt.Printf("relative A-norm error=%.3e\n", res.ANormErr)
 	}
 
 	if *outPath != "" {

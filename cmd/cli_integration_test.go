@@ -4,11 +4,15 @@
 package cmd_test
 
 import (
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTool compiles ./cmd/<name> into dir and returns the binary path.
@@ -50,7 +54,7 @@ func TestMatgenAsysolvePipeline(t *testing.T) {
 	}
 
 	sol := filepath.Join(dir, "x.mtx")
-	for _, method := range []string{"asyrgs", "cg", "fcg", "jacobi", "gs", "kaczmarz"} {
+	for _, method := range []string{"asyrgs", "asyrgs-partitioned", "rgs", "cg", "fcg", "jacobi", "gs", "asyncjacobi", "kaczmarz"} {
 		args := []string{"-A", mtx, "-method", method, "-tol", "1e-6", "-o", sol}
 		out := run(t, asysolve, args...)
 		if !strings.Contains(out, "converged=true") {
@@ -62,6 +66,14 @@ func TestMatgenAsysolvePipeline(t *testing.T) {
 	}
 	if fi, err := os.Stat(sol); err != nil || fi.Size() == 0 {
 		t.Fatalf("solution file missing: %v", err)
+	}
+
+	// The roster listing is registry-driven: every built-in shows up.
+	list := run(t, asysolve, "-method", "list")
+	for _, name := range []string{"asyrgs", "cg", "fcg", "kaczmarz", "lsqcd", "lsqcd-async"} {
+		if !strings.Contains(list, name) {
+			t.Fatalf("-method list missing %q:\n%s", name, list)
+		}
 	}
 }
 
@@ -81,6 +93,73 @@ func TestMatgenKinds(t *testing.T) {
 		if !strings.Contains(out, path) {
 			t.Fatalf("matgen %s output unexpected: %s", kind, out)
 		}
+	}
+}
+
+// TestAsyrgsdEndToEnd boots the real daemon binary on a loopback port
+// and drives one generator-spec solve plus the health and stats probes.
+func TestAsyrgsdEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	asyrgsd := buildTool(t, dir, "asyrgsd")
+
+	// Reserve a free loopback port, release it, and hand it to the
+	// daemon — avoids colliding with whatever else runs on the host.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	cmd := exec.Command(asyrgsd, "-addr", addr)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	var ready bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			ready = resp.StatusCode == http.StatusOK
+			if ready {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("daemon did not become healthy")
+	}
+
+	body := `{"matrix":{"kind":"randomspd","n":150,"seed":3},"method":"asyrgs","tol":1e-6,"max_sweeps":500}`
+	resp, err := http.Post(base+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, payload)
+	}
+	if !strings.Contains(string(payload), `"converged":true`) {
+		t.Fatalf("solve did not converge: %s", payload)
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stats), `"solved":1`) {
+		t.Fatalf("stats did not count the solve: %s", stats)
 	}
 }
 

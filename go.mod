@@ -1,0 +1,3 @@
+module github.com/asynclinalg/asyrgs
+
+go 1.22

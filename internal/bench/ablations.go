@@ -1,14 +1,33 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"time"
 
 	"github.com/asynclinalg/asyrgs/internal/core"
 	"github.com/asynclinalg/asyrgs/internal/distmem"
-	"github.com/asynclinalg/asyrgs/internal/krylov"
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/stats"
 )
+
+// runRegistry dispatches one fixed-work run (Tol <= 0 runs the exact
+// sweep budget) through the method registry — the single entry point all
+// ablation tables share instead of per-method construction code.
+func runRegistry(name string, a *sparse.CSR, b []float64, opts method.Opts) method.Result {
+	m, err := method.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float64, a.Cols)
+	res, err := m.Solve(context.Background(), a, b, x, opts)
+	if err != nil && !errors.Is(err, method.ErrNotConverged) {
+		panic(err)
+	}
+	return res
+}
 
 // DelayRow is one row of the delay-distribution report.
 type DelayRow struct {
@@ -68,7 +87,8 @@ type SamplingRow struct {
 // algorithm), diagonal-weighted (general Leventhal–Lewis), and
 // block-partitioned (the restricted randomization the paper proposes for
 // distributed memory — single writer per coordinate, better locality, but
-// coupled blocks converge more slowly).
+// coupled blocks converge more slowly). Each strategy is one registry
+// entry; the table is pure data.
 func (r *Runner) SamplingAblation(workers, sweeps int) []SamplingRow {
 	r.Prepare()
 	if workers <= 0 {
@@ -77,27 +97,17 @@ func (r *Runner) SamplingAblation(workers, sweeps int) []SamplingRow {
 	if sweeps <= 0 {
 		sweeps = r.Cfg.Sweeps
 	}
-	configs := []struct {
-		name string
-		opts core.Options
-	}{
-		{"uniform", core.Options{Workers: workers, Seed: r.Cfg.Seed}},
-		{"diag-weighted", core.Options{Workers: workers, Seed: r.Cfg.Seed, DiagonalWeighted: true}},
-		{"partitioned", core.Options{Workers: workers, Seed: r.Cfg.Seed, Partitioned: true}},
-	}
-	rows := make([]SamplingRow, 0, len(configs))
+	strategies := []string{"asyrgs", "asyrgs-weighted", "asyrgs-partitioned"}
+	rows := make([]SamplingRow, 0, len(strategies))
 	r.printf("\n== Sampling ablation (%d workers, %d sweeps) ==\n", workers, sweeps)
-	r.printf("%-16s %-12s %-14s\n", "strategy", "time", "rel residual")
-	for _, cfg := range configs {
-		solver, err := core.New(r.Gram, cfg.opts)
-		if err != nil {
-			panic(err)
-		}
-		x := make([]float64, r.Gram.Rows)
-		d := timeIt(func() { solver.AsyncSweeps(x, r.b1, sweeps) })
-		res := solver.Residual(x, r.b1)
-		rows = append(rows, SamplingRow{Strategy: cfg.name, Time: d, Residual: res})
-		r.printf("%-16s %-12v %-14.6e\n", cfg.name, d.Round(time.Microsecond), res)
+	r.printf("%-20s %-12s %-14s\n", "strategy", "time", "rel residual")
+	for _, name := range strategies {
+		res := runRegistry(name, r.Gram, r.b1, method.Opts{
+			MaxSweeps: sweeps, CheckEvery: sweeps,
+			Workers: workers, Seed: r.Cfg.Seed,
+		})
+		rows = append(rows, SamplingRow{Strategy: name, Time: res.Wall, Residual: res.Residual})
+		r.printf("%-20s %-12v %-14.6e\n", name, res.Wall.Round(time.Microsecond), res.Residual)
 	}
 	return rows
 }
@@ -143,16 +153,12 @@ func (r *Runner) FaultInjection(workers, sweeps int) []FaultRow {
 	r.printf("\n== Fault injection: slow workers under randomized directions (%d workers, %d sweeps) ==\n", workers, sweeps)
 	r.printf("%-12s %-14s %-10s\n", "scenario", "rel residual", "tau-hat")
 	for _, sc := range scenarios {
-		solver, err := core.New(r.Gram, core.Options{
-			Workers: workers, Seed: r.Cfg.Seed,
-			Throttle: sc.throttle, MeasureDelay: true,
+		res := runRegistry("asyrgs", r.Gram, r.b1, method.Opts{
+			MaxSweeps: sweeps, CheckEvery: sweeps,
+			Workers: workers, Seed: r.Cfg.Seed, Throttle: sc.throttle,
+			MeasureDelay: true,
 		})
-		if err != nil {
-			panic(err)
-		}
-		x := make([]float64, r.Gram.Rows)
-		solver.AsyncSweeps(x, r.b1, sweeps)
-		rows = append(rows, FaultRow{Scenario: sc.name, Residual: solver.Residual(x, r.b1), Tau: solver.ObservedTau()})
+		rows = append(rows, FaultRow{Scenario: sc.name, Residual: res.Residual, Tau: res.ObservedTau})
 		r.printf("%-12s %-14.6e %-10d\n", sc.name, rows[len(rows)-1].Residual, rows[len(rows)-1].Tau)
 	}
 	return rows
@@ -226,7 +232,8 @@ type ClassicRow struct {
 
 // ClassicVsRandomized pits deterministic chaotic-relaxation Jacobi against
 // AsyRGS at equal sweep budgets, healthy and with a starved block/worker —
-// the §2 Hook–Dingle motivation for randomization, head to head.
+// the §2 Hook–Dingle motivation for randomization, head to head. Both
+// contenders dispatch through the registry; the scenario grid is data.
 func (r *Runner) ClassicVsRandomized(workers, sweeps int) []ClassicRow {
 	r.Prepare()
 	if workers <= 0 {
@@ -235,47 +242,30 @@ func (r *Runner) ClassicVsRandomized(workers, sweeps int) []ClassicRow {
 	if sweeps <= 0 {
 		sweeps = r.Cfg.Sweeps
 	}
-	var rows []ClassicRow
-	emit := func(method, scenario string, res float64) {
-		rows = append(rows, ClassicRow{method, scenario, res})
-		r.printf("%-12s %-12s %-14.6e\n", method, scenario, res)
+	slow := func(w int, _ uint64) {
+		if w == 0 {
+			spin(400)
+		}
 	}
+	scenarios := []struct {
+		name     string
+		throttle func(worker int, iteration uint64)
+	}{
+		{"healthy", nil},
+		{"one-slow", slow},
+	}
+	var rows []ClassicRow
 	r.printf("\n== Classic async Jacobi vs AsyRGS (%d workers, %d sweeps) ==\n", workers, sweeps)
 	r.printf("%-12s %-12s %-14s\n", "method", "scenario", "rel residual")
-
-	// Healthy runs.
-	xj := make([]float64, r.Gram.Rows)
-	jres := krylov.AsyncJacobi(r.Gram, xj, r.b1, sweeps, workers)
-	emit("jacobi", "healthy", jres.Residual)
-	s, err := core.New(r.Gram, core.Options{Workers: workers, Seed: r.Cfg.Seed})
-	if err != nil {
-		panic(err)
-	}
-	xr := make([]float64, r.Gram.Rows)
-	s.AsyncSweeps(xr, r.b1, sweeps)
-	emit("asyrgs", "healthy", s.Residual(xr, r.b1))
-
-	// Starved: worker 0 runs far slower in both methods.
-	slowJ := func(w, i int) {
-		if w == 0 {
-			spin(400)
+	for _, sc := range scenarios {
+		for _, name := range []string{"asyncjacobi", "asyrgs"} {
+			res := runRegistry(name, r.Gram, r.b1, method.Opts{
+				MaxSweeps: sweeps, CheckEvery: sweeps,
+				Workers: workers, Seed: r.Cfg.Seed, Throttle: sc.throttle,
+			})
+			rows = append(rows, ClassicRow{Method: name, Scenario: sc.name, Residual: res.Residual})
+			r.printf("%-12s %-12s %-14.6e\n", name, sc.name, res.Residual)
 		}
 	}
-	xjs := make([]float64, r.Gram.Rows)
-	jsres := krylov.AsyncJacobiThrottled(r.Gram, xjs, r.b1, sweeps, workers, slowJ)
-	emit("jacobi", "one-slow", jsres.Residual)
-
-	slowR := func(w int, j uint64) {
-		if w == 0 {
-			spin(400)
-		}
-	}
-	s2, err := core.New(r.Gram, core.Options{Workers: workers, Seed: r.Cfg.Seed, Throttle: slowR})
-	if err != nil {
-		panic(err)
-	}
-	xrs := make([]float64, r.Gram.Rows)
-	s2.AsyncSweeps(xrs, r.b1, sweeps)
-	emit("asyrgs", "one-slow", s2.Residual(xrs, r.b1))
 	return rows
 }

@@ -329,3 +329,26 @@ func TestClassicVsRandomizedRows(t *testing.T) {
 		t.Fatalf("asyrgs slow-worker run degraded: %v vs %v", slow, healthy)
 	}
 }
+
+func TestMethodTableRows(t *testing.T) {
+	if race.Enabled {
+		t.Skip("the table includes the deliberately racy NonAtomic ablation")
+	}
+	r := NewRunner(tinyConfig())
+	rows := r.MethodTable(1e-4, 400, 2)
+	if len(rows) < 8 {
+		t.Fatalf("method table should cover every registered SPD method, got %d rows", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range rows {
+		seen[row.Method] = true
+		if row.Residual <= 0 || row.Sweeps <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+	for _, want := range []string{"asyrgs", "rgs", "cg", "fcg", "gs"} {
+		if !seen[want] {
+			t.Fatalf("method table missing %q", want)
+		}
+	}
+}

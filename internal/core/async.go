@@ -30,6 +30,12 @@ func (s *Solver) AsyncSweeps(x, b []float64, sweeps int) {
 	workers := s.opts.Workers
 	if workers <= 1 {
 		s.Sweeps(x, b, sweeps)
+		// A single worker never observes concurrent updates: every
+		// iteration has delay zero. Recording them keeps the histogram
+		// total invariant to the worker count.
+		if s.opts.MeasureDelay {
+			s.delayHist[0] += uint64(sweeps) * uint64(n)
+		}
 		return
 	}
 	total := uint64(sweeps) * uint64(n)
@@ -205,6 +211,9 @@ func (s *Solver) AsyncSweepsDense(x, b *vec.Dense, sweeps int) {
 	workers := s.opts.Workers
 	if workers <= 1 {
 		s.SweepsDense(x, b, sweeps)
+		if s.opts.MeasureDelay {
+			s.delayHist[0] += uint64(sweeps) * uint64(n)
+		}
 		return
 	}
 	total := uint64(sweeps) * uint64(n)

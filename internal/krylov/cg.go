@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -31,6 +32,10 @@ type CGOptions struct {
 	// History, when non-nil, receives the relative residual after every
 	// iteration (index 0 = initial residual).
 	History *[]float64
+	// Ctx, when non-nil, is checked before every iteration; a cancelled
+	// context stops the solve and returns the context's error with the
+	// best iterate so far left in x.
+	Ctx context.Context
 }
 
 // CGResult reports a conjugate-gradient run.
@@ -84,6 +89,11 @@ func CG(a *sparse.CSR, x, b []float64, opts CGOptions) (CGResult, error) {
 	}
 
 	for it := 1; it <= maxIter; it++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return CGResult{Iterations: it - 1, Residual: res, MatVecs: matvecs}, err
+			}
+		}
 		a.MulVecPar(ap, p, opts.Workers, opts.Partition)
 		matvecs++
 		pap := vec.Dot(p, ap)

@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"context"
 	"math"
 
 	"github.com/asynclinalg/asyrgs/internal/sparse"
@@ -24,6 +25,9 @@ type FCGOptions struct {
 	Truncate int
 	// History, when non-nil, receives the relative residual per iteration.
 	History *[]float64
+	// Ctx, when non-nil, is checked before every outer iteration; a
+	// cancelled context stops the solve and returns the context's error.
+	Ctx context.Context
 }
 
 // FCGResult reports a Flexible-CG run.
@@ -83,6 +87,11 @@ func FlexibleCG(a *sparse.CSR, x, b []float64, precond Preconditioner, opts FCGO
 
 	z := make([]float64, n)
 	for it := 1; it <= maxIter; it++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return FCGResult{Iterations: it - 1, Residual: res, MatVecs: matvecs}, err
+			}
+		}
 		precond.Apply(z, r)
 
 		// New direction: A-orthogonalize z against retained directions.

@@ -1,0 +1,273 @@
+package method
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/core"
+	"github.com/asynclinalg/asyrgs/internal/kaczmarz"
+	"github.com/asynclinalg/asyrgs/internal/krylov"
+	"github.com/asynclinalg/asyrgs/internal/lsq"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+)
+
+// The built-in registry: every solver family of the repository. Variants
+// are separate entries so drivers and ablation tables are pure data.
+func init() {
+	Register(&funcMethod{name: "asyrgs", kind: SPD,
+		solve: coreSolve("asyrgs", core.Options{}, false)})
+	Register(&funcMethod{name: "asyrgs-nonatomic", kind: SPD,
+		solve: coreSolve("asyrgs-nonatomic", core.Options{NonAtomic: true}, false)})
+	Register(&funcMethod{name: "asyrgs-partitioned", kind: SPD,
+		solve: coreSolve("asyrgs-partitioned", core.Options{Partitioned: true}, false)})
+	Register(&funcMethod{name: "asyrgs-weighted", kind: SPD,
+		solve: coreSolve("asyrgs-weighted", core.Options{DiagonalWeighted: true}, false)})
+	Register(&funcMethod{name: "rgs", kind: SPD,
+		solve: coreSolve("rgs", core.Options{}, true)})
+	Register(&funcMethod{name: "cg", kind: SPD, solve: cgSolve})
+	Register(&funcMethod{name: "fcg", kind: SPD, solve: fcgSolve})
+	Register(&funcMethod{name: "jacobi", kind: SPD, solve: jacobiSolve})
+	Register(&funcMethod{name: "gs", kind: SPD, solve: gsSolve})
+	Register(&funcMethod{name: "asyncjacobi", kind: SPD, solve: asyncJacobiSolve})
+	Register(&funcMethod{name: "kaczmarz", kind: SPD, solve: kaczmarzSolve})
+	Register(&funcMethod{name: "lsqcd", kind: LeastSquares,
+		solve: lsqSolve("lsqcd", true)})
+	Register(&funcMethod{name: "lsqcd-async", kind: LeastSquares,
+		solve: lsqSolve("lsqcd-async", false)})
+}
+
+// coreSolve builds the solve function for the core AsyRGS/RGS family.
+// base carries the variant flags; sequential forces one worker (the
+// synchronous Randomized Gauss–Seidel iteration).
+func coreSolve(name string, base core.Options, sequential bool) func(context.Context, *sparse.CSR, []float64, []float64, Opts) (Result, error) {
+	return func(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+		opts = opts.withDefaults()
+		co := base
+		co.Workers = opts.Workers
+		if sequential {
+			co.Workers = 1
+		}
+		co.Beta = opts.Beta
+		co.Seed = opts.Seed
+		co.MeasureDelay = opts.MeasureDelay
+		co.Throttle = opts.Throttle
+		s, err := core.New(a, co)
+		if err != nil {
+			return Result{}, err
+		}
+		start := time.Now()
+		var res Result
+		for res.Sweeps < opts.MaxSweeps {
+			if err := ctx.Err(); err != nil {
+				return res, ctxErr(name, ctx)
+			}
+			step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
+			s.AsyncSweeps(x, b, step)
+			res.Sweeps += step
+			res.Residual = s.Residual(x, b)
+			if opts.converged(res.Residual) {
+				res.Converged = true
+				break
+			}
+		}
+		res.Iterations = s.Iterations()
+		res.ObservedTau = s.ObservedTau()
+		return res, finish(&res, a, x, opts, start, SPD)
+	}
+}
+
+// cgSolve wraps (parallel-SpMV) conjugate gradients; cancellation is
+// handled inside the CG loop so the recurrence is never restarted.
+func cgSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	cgRes, err := krylov.CG(a, x, b, krylov.CGOptions{
+		Tol: effectiveTol(opts.Tol), MaxIter: opts.MaxSweeps, Workers: opts.Workers,
+		Partition: sparse.PartitionRoundRobin, Ctx: ctx,
+	})
+	res := Result{
+		Residual: cgRes.Residual, Converged: cgRes.Converged,
+		Sweeps: cgRes.Iterations, Iterations: uint64(cgRes.Iterations),
+	}
+	if isCtxErr(err) {
+		res.Wall = time.Since(start)
+		return res, ctxErr("cg", ctx)
+	}
+	return res, finish(&res, a, x, opts, start, SPD)
+}
+
+// fcgSolve wraps the paper's recommended high-accuracy configuration:
+// Flexible-CG preconditioned by Opts.Inner sweeps of AsyRGS.
+func fcgSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+	opts = opts.withDefaults()
+	s, err := core.New(a, core.Options{
+		Workers: opts.Workers, Beta: opts.Beta, Seed: opts.Seed,
+		Throttle: opts.Throttle,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	pre := krylov.PrecondFunc(func(z, r []float64) { s.Precondition(z, r, opts.Inner) })
+	start := time.Now()
+	fcgRes, err := krylov.FlexibleCG(a, x, b, pre, krylov.FCGOptions{
+		Tol: effectiveTol(opts.Tol), MaxIter: opts.MaxSweeps, Workers: opts.Workers,
+		Partition: sparse.PartitionRoundRobin, Ctx: ctx,
+	})
+	res := Result{
+		Residual: fcgRes.Residual, Converged: fcgRes.Converged,
+		Sweeps: fcgRes.Iterations, Iterations: s.Iterations(),
+	}
+	if isCtxErr(err) {
+		res.Wall = time.Since(start)
+		return res, ctxErr("fcg", ctx)
+	}
+	return res, finish(&res, a, x, opts, start, SPD)
+}
+
+// effectiveTol maps the registry's "non-positive tolerance = fixed work"
+// convention onto the Krylov solvers, whose option structs replace a
+// non-positive tolerance with their own defaults: an unreachably small
+// positive value runs the full budget.
+func effectiveTol(tol float64) float64 {
+	if tol <= 0 {
+		return 1e-300
+	}
+	return tol
+}
+
+// isCtxErr reports whether a solver error came from context
+// cancellation.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// jacobiSolve chunks classical Jacobi sweeps; the iterate carries all
+// state, so chunking is exact.
+func jacobiSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+	return chunkedStationary(ctx, "jacobi", a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
+		return krylov.Jacobi(a, x, b, chunk, tol, opts.Workers)
+	})
+}
+
+// gsSolve chunks deterministic forward Gauss–Seidel sweeps.
+func gsSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+	return chunkedStationary(ctx, "gs", a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
+		return krylov.GaussSeidel(a, x, b, chunk, tol)
+	})
+}
+
+// asyncJacobiSolve chunks the chaotic-relaxation baseline; the throttled
+// variant is selected when a fault-injection hook is present.
+func asyncJacobiSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+	var iter atomic.Uint64 // the throttle hook is invoked from every worker
+	return chunkedStationary(ctx, "asyncjacobi", a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
+		if opts.Throttle != nil {
+			return krylov.AsyncJacobiThrottled(a, x, b, chunk, opts.Workers, func(w, i int) {
+				opts.Throttle(w, iter.Add(1)-1)
+			})
+		}
+		return krylov.AsyncJacobi(a, x, b, chunk, opts.Workers)
+	})
+}
+
+// chunkedStationary runs a stationary iteration CheckEvery sweeps at a
+// time, checking the context between chunks. Each chunk call re-runs the
+// underlying iteration's setup and a trailing residual matvec, so when
+// the caller did not pick a granularity the default is a larger chunk
+// than the shared CheckEvery=1 (the iterations stop early within a chunk
+// once tol is met, so a big chunk cannot overshoot).
+func chunkedStationary(ctx context.Context, name string, a *sparse.CSR, b, x []float64, opts Opts, sweep func(chunk int, tol float64) krylov.StationaryResult) (Result, error) {
+	if opts.CheckEvery <= 0 {
+		opts.CheckEvery = 16
+	}
+	opts = opts.withDefaults()
+	n := uint64(a.Rows)
+	start := time.Now()
+	var res Result
+	for res.Sweeps < opts.MaxSweeps {
+		if err := ctx.Err(); err != nil {
+			return res, ctxErr(name, ctx)
+		}
+		step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
+		sr := sweep(step, opts.Tol)
+		res.Sweeps += sr.Sweeps
+		res.Iterations += uint64(sr.Sweeps) * n
+		res.Residual = sr.Residual
+		if opts.converged(res.Residual) {
+			res.Converged = true
+			break
+		}
+	}
+	return res, finish(&res, a, x, opts, start, SPD)
+}
+
+// kaczmarzSolve wraps randomized Kaczmarz; one sweep is n row
+// projections.
+func kaczmarzSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+	opts = opts.withDefaults()
+	s, err := kaczmarz.New(a, kaczmarz.Options{
+		Workers: opts.Workers, Seed: opts.Seed, Beta: opts.Beta,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	var res Result
+	for res.Sweeps < opts.MaxSweeps {
+		if err := ctx.Err(); err != nil {
+			return res, ctxErr("kaczmarz", ctx)
+		}
+		step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
+		res.Residual = s.Iterations(x, b, step*a.Rows)
+		res.Sweeps += step
+		res.Iterations += uint64(step) * uint64(a.Rows)
+		if opts.converged(res.Residual) {
+			res.Converged = true
+			break
+		}
+	}
+	return res, finish(&res, a, x, opts, start, SPD)
+}
+
+// lsqSolve builds the solve function for the §8 least-squares coordinate
+// descent: sequential iteration (20) or asynchronous iteration (21). One
+// sweep is Cols coordinate steps; residuals are relative normal-equation
+// residuals ‖Aᵀ(b−Ax)‖₂/‖Aᵀb‖₂.
+func lsqSolve(name string, sequential bool) func(context.Context, *sparse.CSR, []float64, []float64, Opts) (Result, error) {
+	return func(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+		opts = opts.withDefaults()
+		workers := opts.Workers
+		if sequential {
+			workers = 1
+		}
+		s, err := lsq.New(a, lsq.Options{Workers: workers, Seed: opts.Seed, Beta: opts.Beta})
+		if err != nil {
+			return Result{}, err
+		}
+		// ‖Aᵀb‖₂ is the optimality residual at x = 0; reuse the solver's
+		// CSC view instead of building another transpose.
+		normATb := s.LSQResidual(make([]float64, a.Cols), b)
+		if normATb == 0 {
+			normATb = 1
+		}
+		start := time.Now()
+		var res Result
+		for res.Sweeps < opts.MaxSweeps {
+			if err := ctx.Err(); err != nil {
+				return res, ctxErr(name, ctx)
+			}
+			step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
+			s.Iterations(x, b, step*a.Cols)
+			res.Sweeps += step
+			res.Iterations += uint64(step) * uint64(a.Cols)
+			res.Residual = s.LSQResidual(x, b) / normATb
+			if opts.converged(res.Residual) {
+				res.Converged = true
+				break
+			}
+		}
+		return res, finish(&res, a, x, opts, start, LeastSquares)
+	}
+}

@@ -1,0 +1,105 @@
+package method_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// systemFor builds a system of the right shape for a method's kind.
+func systemFor(m method.Method) (a *sparse.CSR, b, x []float64) {
+	if m.Kind() == method.LeastSquares {
+		a = workload.RandomOverdetermined(300, 100, 5, 17)
+		b = workload.RandomRHS(a.Rows, 18)
+	} else {
+		a = workload.Laplacian2D(20, 20)
+		b = workload.RandomRHS(a.Rows, 19)
+	}
+	return a, b, make([]float64, a.Cols)
+}
+
+// TestCancelBeforeSolve: an already-cancelled context must stop every
+// registered method before it does any sweeps.
+func TestCancelBeforeSolve(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range method.All() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			a, b, x := systemFor(m)
+			res, err := m.Solve(ctx, a, b, x, method.Opts{
+				Tol: 1e-300, MaxSweeps: 1 << 30, CheckEvery: 1,
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want wrapped context.Canceled, got %v", err)
+			}
+			if res.Sweeps != 0 {
+				t.Fatalf("ran %d sweeps under a pre-cancelled context", res.Sweeps)
+			}
+		})
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err polls — a
+// deterministic stand-in for "the caller cancels mid-run" that cannot
+// race against fast solvers.
+type countdownCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelMidSolve: cancelling mid-run must stop every method promptly
+// — well before its (effectively unbounded) budget.
+func TestCancelMidSolve(t *testing.T) {
+	for _, m := range method.All() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			skipNonAtomicUnderRace(t, m.Name())
+			a, b, x := systemFor(m)
+			ctx := &countdownCtx{Context: context.Background(), after: 5}
+			start := time.Now()
+			res, err := m.Solve(ctx, a, b, x, method.Opts{
+				Tol: 1e-300, MaxSweeps: 1 << 30, CheckEvery: 1, Workers: 2,
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want wrapped context.Canceled, got %v (result %+v)", err, res)
+			}
+			if res.Sweeps >= 1<<30 {
+				t.Fatalf("exhausted the budget instead of stopping: %+v", res)
+			}
+			if d := time.Since(start); d > 10*time.Second {
+				t.Fatalf("took %v to honour cancellation", d)
+			}
+		})
+	}
+}
+
+// TestDeadlineExceeded: context deadlines surface the same way.
+func TestDeadlineExceeded(t *testing.T) {
+	m, err := method.Get("asyrgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, x := systemFor(m)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if _, err := m.Solve(ctx, a, b, x, method.Opts{
+		Tol: 1e-300, MaxSweeps: 1 << 30, CheckEvery: 1,
+	}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want wrapped DeadlineExceeded, got %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+// The registry-driven conformance suite: every registered SPD method
+// must solve the same reference systems to tolerance and agree with CG's
+// solution; every least-squares method must match the normal-equations
+// solution. Registering a new method automatically enrols it here.
+package method_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/krylov"
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/race"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/vec"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// sweepBudgets gives slowly-converging methods room; everything else
+// uses the default.
+var sweepBudgets = map[string]int{
+	"kaczmarz": 80000, // rate 1−λmin²/‖A‖_F² per projection is slow on Laplacians
+	"jacobi":   8000,
+}
+
+func budgetFor(name string) int {
+	if b, ok := sweepBudgets[name]; ok {
+		return b
+	}
+	return 5000
+}
+
+// skipNonAtomicUnderRace skips the deliberately racy NonAtomic ablation
+// when the race detector is active: its plain loads/stores are the
+// paper's §9 experiment, not a bug (same policy as internal/core's
+// tests).
+func skipNonAtomicUnderRace(t *testing.T, name string) {
+	t.Helper()
+	if race.Enabled && name == "asyrgs-nonatomic" {
+		t.Skip("NonAtomic ablation is deliberately racy; skipped under -race")
+	}
+}
+
+// relDiff returns ‖u−v‖₂/‖v‖₂.
+func relDiff(u, v []float64) float64 {
+	d := make([]float64, len(u))
+	vec.Sub(d, u, v)
+	nv := vec.Nrm2(v)
+	if nv == 0 {
+		nv = 1
+	}
+	return vec.Nrm2(d) / nv
+}
+
+func TestSPDConformance(t *testing.T) {
+	const tol = 1e-6
+	systems := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"laplacian2d", workload.Laplacian2D(8, 8)},
+		{"randomspd", workload.RandomSPD(150, 6, 1.5, 7)},
+	}
+	for _, sys := range systems {
+		a := sys.a
+		b, xstar := workload.RHSForSolution(a, 11)
+
+		// CG reference solution at a tighter tolerance than the suite's.
+		xref := make([]float64, a.Cols)
+		if _, err := krylov.CG(a, xref, b, krylov.CGOptions{Tol: 1e-10}); err != nil {
+			t.Fatalf("%s: CG reference failed: %v", sys.name, err)
+		}
+
+		for _, m := range method.ByKind(method.SPD) {
+			m := m
+			t.Run(sys.name+"/"+m.Name(), func(t *testing.T) {
+				skipNonAtomicUnderRace(t, m.Name())
+				x := make([]float64, a.Cols)
+				res, err := m.Solve(context.Background(), a, b, x, method.Opts{
+					Tol: tol, MaxSweeps: budgetFor(m.Name()),
+					Workers: 2, Seed: 3, CheckEvery: 10, XStar: xstar,
+				})
+				if err != nil {
+					t.Fatalf("solve: %v (result %+v)", err, res)
+				}
+				if !res.Converged || res.Residual > tol {
+					t.Fatalf("did not converge: %+v", res)
+				}
+				if res.Method != m.Name() {
+					t.Fatalf("result reports method %q, want %q", res.Method, m.Name())
+				}
+				if res.Sweeps <= 0 || res.Wall <= 0 {
+					t.Fatalf("missing work accounting: %+v", res)
+				}
+				if math.IsNaN(res.ANormErr) || res.ANormErr > 1e-2 {
+					t.Fatalf("A-norm error not reported or too large: %+v", res)
+				}
+				if d := relDiff(x, xref); d > 1e-3 {
+					t.Fatalf("solution disagrees with CG reference by %.3e", d)
+				}
+			})
+		}
+	}
+}
+
+func TestLeastSquaresConformance(t *testing.T) {
+	const tol = 1e-8
+	a := workload.RandomOverdetermined(120, 40, 5, 9)
+	b := workload.RandomRHS(a.Rows, 13)
+
+	// Normal-equations reference: solve AᵀA·x = Aᵀb with CG.
+	ata := sparse.Gram(a)
+	atb := make([]float64, a.Cols)
+	a.ToCSC().MulTransVec(atb, b)
+	xref := make([]float64, a.Cols)
+	if _, err := krylov.CG(ata, xref, atb, krylov.CGOptions{Tol: 1e-12}); err != nil {
+		t.Fatalf("normal-equations reference failed: %v", err)
+	}
+
+	lsqMethods := method.ByKind(method.LeastSquares)
+	if len(lsqMethods) == 0 {
+		t.Fatal("no least-squares methods registered")
+	}
+	for _, m := range lsqMethods {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			x := make([]float64, a.Cols)
+			res, err := m.Solve(context.Background(), a, b, x, method.Opts{
+				Tol: tol, MaxSweeps: 40000, Workers: 2, Seed: 5, CheckEvery: 25,
+			})
+			if err != nil {
+				t.Fatalf("solve: %v (result %+v)", err, res)
+			}
+			if !res.Converged || res.Residual > tol {
+				t.Fatalf("did not converge: %+v", res)
+			}
+			if d := relDiff(x, xref); d > 1e-4 {
+				t.Fatalf("solution disagrees with normal equations by %.3e", d)
+			}
+		})
+	}
+}
+
+// TestFixedWorkMode checks the bench drivers' contract: a non-positive
+// tolerance runs the exact sweep budget and reports the residual reached.
+func TestFixedWorkMode(t *testing.T) {
+	a := workload.RandomSPD(100, 5, 1.5, 21)
+	b := workload.RandomRHS(100, 22)
+	for _, name := range []string{"asyrgs", "rgs", "jacobi"} {
+		m, err := method.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, 100)
+		res, err := m.Solve(context.Background(), a, b, x, method.Opts{
+			Tol: 0, MaxSweeps: 6, Workers: 2, CheckEvery: 6,
+		})
+		if err != nil {
+			t.Fatalf("%s: fixed-work mode must not error: %v", name, err)
+		}
+		if res.Sweeps != 6 {
+			t.Fatalf("%s: ran %d sweeps, want the full budget of 6", name, res.Sweeps)
+		}
+		if res.Converged {
+			t.Fatalf("%s: fixed-work mode must not report convergence", name)
+		}
+		if !(res.Residual > 0 && res.Residual < 1) {
+			t.Fatalf("%s: made no progress: %v", name, res.Residual)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+func tinyMatrix() (*sparse.CSR, error) { return workload.RandomSPD(10, 3, 1.5, 1), nil }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newSessionCache(2)
+	for i := 0; i < 3; i++ {
+		if _, hit, err := c.getOrBuild(fmt.Sprintf("k%d", i), tinyMatrix); hit || err != nil {
+			t.Fatalf("k%d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	// k0 is the least recently used and must have been evicted.
+	if _, hit, _ := c.getOrBuild("k0", tinyMatrix); hit {
+		t.Fatal("k0 should have been evicted")
+	}
+	hits, misses, evictions, size := c.counters()
+	if hits != 0 || misses != 4 || evictions < 1 || size != 2 {
+		t.Fatalf("counters: hits=%d misses=%d evictions=%d size=%d", hits, misses, evictions, size)
+	}
+}
+
+func TestCacheTouchRefreshesRecency(t *testing.T) {
+	c := newSessionCache(2)
+	c.getOrBuild("a", tinyMatrix)
+	c.getOrBuild("b", tinyMatrix)
+	c.getOrBuild("a", tinyMatrix) // touch a: b becomes LRU
+	c.getOrBuild("c", tinyMatrix) // evicts b
+	if _, hit, _ := c.getOrBuild("a", tinyMatrix); !hit {
+		t.Fatal("a was touched and must survive")
+	}
+	if _, hit, _ := c.getOrBuild("b", tinyMatrix); hit {
+		t.Fatal("b must have been evicted")
+	}
+}
+
+func TestCacheFailedBuildNotCached(t *testing.T) {
+	c := newSessionCache(4)
+	boom := errors.New("boom")
+	if _, _, err := c.getOrBuild("bad", func() (*sparse.CSR, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// The failure must not be cached: the next lookup rebuilds.
+	if _, hit, err := c.getOrBuild("bad", tinyMatrix); hit || err != nil {
+		t.Fatalf("failed build was cached: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestCacheSharedBuild: concurrent requests for one key run the builder
+// exactly once; everyone gets the same matrix.
+func TestCacheSharedBuild(t *testing.T) {
+	c := newSessionCache(4)
+	var builds atomic.Int64
+	build := func() (*sparse.CSR, error) {
+		builds.Add(1)
+		return workload.RandomSPD(50, 4, 1.5, 9), nil
+	}
+	const clients = 8
+	out := make([]*sparse.CSR, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, _, err := c.getOrBuild("shared", build)
+			if err != nil {
+				t.Error(err)
+			}
+			out[i] = a
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times, want 1", n)
+	}
+	for i := 1; i < clients; i++ {
+		if out[i] != out[0] {
+			t.Fatal("clients received different matrices for one key")
+		}
+	}
+}
+
+func TestMatrixSpecKeyStability(t *testing.T) {
+	a := MatrixSpec{Kind: "randomspd", N: 100, NNZ: 6, Seed: 3}
+	b := MatrixSpec{Kind: "randomspd", N: 100, NNZ: 6, Seed: 3}
+	if a.key() != b.key() {
+		t.Fatal("identical specs must share a key")
+	}
+	for _, other := range []MatrixSpec{
+		{Kind: "randomspd", N: 101, NNZ: 6, Seed: 3},
+		{Kind: "randomspd", N: 100, NNZ: 6, Seed: 4},
+		{Kind: "laplacian2d", N: 100},
+		{Kind: "mm", MM: "x"},
+	} {
+		if a.key() == other.key() {
+			t.Fatalf("distinct specs collide: %+v vs %+v", a, other)
+		}
+	}
+}

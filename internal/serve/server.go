@@ -1,0 +1,442 @@
+// Package serve implements the asyrgsd HTTP serving layer: a JSON API
+// that accepts MatrixMarket-or-generator-spec solve requests, dispatches
+// them through the unified method registry, keeps a small LRU of prepared
+// systems keyed by matrix hash so repeated right-hand sides skip setup,
+// and bounds concurrency with a worker-pool admission gate.
+//
+// Endpoints:
+//
+//	POST /solve    one solve request (SolveRequest → SolveResponse)
+//	GET  /methods  the registry roster with kinds
+//	GET  /healthz  liveness probe
+//	GET  /stats    request, cache and per-method counters
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// Config sizes the daemon. The zero value is usable.
+type Config struct {
+	// MaxConcurrent bounds in-flight solves (the admission gate); zero
+	// means GOMAXPROCS.
+	MaxConcurrent int
+	// QueueTimeout is how long a request may wait for an admission slot
+	// before being rejected with 503; zero means 5s.
+	QueueTimeout time.Duration
+	// CacheSize is the prepared-system LRU capacity; zero means 16.
+	CacheSize int
+	// SolveTimeout caps one solve's wall time; zero means 60s.
+	SolveTimeout time.Duration
+	// MaxDim rejects generator specs larger than this dimension; zero
+	// means 1 << 20.
+	MaxDim int
+	// MaxBodyBytes caps the request body (inline MatrixMarket text can
+	// be large); zero means 64 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 60 * time.Second
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 1 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// MatrixSpec identifies the system to solve: either an inline
+// MatrixMarket text or a named generator with its parameters. The spec's
+// canonical form is hashed into the session-cache key.
+type MatrixSpec struct {
+	// Kind is one of mm|laplacian2d|laplacian3d|randomspd|socialgram|
+	// overdetermined.
+	Kind string `json:"kind"`
+	// MM is the inline MatrixMarket coordinate text (kind "mm").
+	MM string `json:"mm,omitempty"`
+	// N is the generator dimension (grid side for Laplacians).
+	N int `json:"n,omitempty"`
+	// Rows/Cols size the overdetermined generator.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// NNZ is the per-row fill of the random generators.
+	NNZ int `json:"nnz,omitempty"`
+	// Dominance is the diagonal dominance of randomspd.
+	Dominance float64 `json:"dominance,omitempty"`
+	// Seed keys the generator.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// key returns the canonical cache key: the kind plus a short content
+// hash of the spec.
+func (s MatrixSpec) key() string {
+	h := sha256.New()
+	if s.Kind == "mm" {
+		h.Write([]byte(s.MM))
+	} else {
+		fmt.Fprintf(h, "%s|%d|%d|%d|%d|%g|%d", s.Kind, s.N, s.Rows, s.Cols, s.NNZ, s.Dominance, s.Seed)
+	}
+	return s.Kind + ":" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// build materializes the spec into a CSR matrix.
+func (s MatrixSpec) build(maxDim int) (*sparse.CSR, error) {
+	if s.Kind != "mm" {
+		if s.N > maxDim || s.Rows > maxDim || s.Cols > maxDim {
+			return nil, fmt.Errorf("spec dimension exceeds the daemon limit %d", maxDim)
+		}
+	}
+	nnz := s.NNZ
+	if nnz <= 0 {
+		nnz = 6
+	}
+	switch s.Kind {
+	case "mm":
+		a, err := sparse.ReadMM(strings.NewReader(s.MM))
+		if err != nil {
+			return nil, fmt.Errorf("parsing MatrixMarket body: %w", err)
+		}
+		if a.Rows > maxDim || a.Cols > maxDim {
+			return nil, fmt.Errorf("matrix dimension exceeds the daemon limit %d", maxDim)
+		}
+		return a, nil
+	case "laplacian2d":
+		if s.N < 2 {
+			return nil, errors.New("laplacian2d needs n >= 2 (grid side)")
+		}
+		return workload.Laplacian2D(s.N, s.N), nil
+	case "laplacian3d":
+		if s.N < 2 {
+			return nil, errors.New("laplacian3d needs n >= 2 (grid side)")
+		}
+		return workload.Laplacian3D(s.N, s.N, s.N), nil
+	case "randomspd":
+		if s.N < 1 {
+			return nil, errors.New("randomspd needs n >= 1")
+		}
+		dom := s.Dominance
+		if dom <= 0 {
+			dom = 1.5
+		}
+		return workload.RandomSPD(s.N, nnz, dom, s.Seed), nil
+	case "socialgram":
+		if s.N < 1 {
+			return nil, errors.New("socialgram needs n >= 1")
+		}
+		gram, _ := workload.SocialGram(workload.DefaultSocialGram(s.N, s.Seed))
+		return gram, nil
+	case "overdetermined":
+		if s.Rows < 1 || s.Cols < 1 || s.Rows < s.Cols {
+			return nil, errors.New("overdetermined needs rows >= cols >= 1")
+		}
+		return workload.RandomOverdetermined(s.Rows, s.Cols, nnz, s.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown matrix kind %q (want mm|laplacian2d|laplacian3d|randomspd|socialgram|overdetermined)", s.Kind)
+	}
+}
+
+// SolveRequest is the POST /solve body.
+type SolveRequest struct {
+	Matrix MatrixSpec `json:"matrix"`
+	// Method is a registry name; see GET /methods.
+	Method string `json:"method"`
+	// B is the right-hand side; when empty one is generated from a known
+	// solution (b = A·x*, SPD kinds) or uniformly (least squares), keyed
+	// by RHSSeed.
+	B       []float64 `json:"b,omitempty"`
+	RHSSeed uint64    `json:"rhs_seed,omitempty"`
+	// Solver knobs, mapped onto method.Opts.
+	Tol        float64 `json:"tol,omitempty"`
+	MaxSweeps  int     `json:"max_sweeps,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	Beta       float64 `json:"beta,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Inner      int     `json:"inner,omitempty"`
+	CheckEvery int     `json:"check_every,omitempty"`
+	// MeasureDelay enables asynchrony bookkeeping (observed_tau in the
+	// response) at a small per-iteration instrumentation cost.
+	MeasureDelay bool `json:"measure_delay,omitempty"`
+	// IncludeSolution returns the iterate in the response (large!).
+	IncludeSolution bool `json:"include_solution,omitempty"`
+}
+
+// SolveResponse is the POST /solve reply.
+type SolveResponse struct {
+	Method      string    `json:"method"`
+	Kind        string    `json:"kind"`
+	MatrixKey   string    `json:"matrix_key"`
+	CacheHit    bool      `json:"cache_hit"`
+	Rows        int       `json:"rows"`
+	Cols        int       `json:"cols"`
+	Residual    float64   `json:"residual"`
+	Converged   bool      `json:"converged"`
+	Sweeps      int       `json:"sweeps"`
+	Iterations  uint64    `json:"iterations"`
+	WallMS      float64   `json:"wall_ms"`
+	ObservedTau int       `json:"observed_tau"`
+	ANormErr    *float64  `json:"a_norm_err,omitempty"`
+	X           []float64 `json:"x,omitempty"`
+}
+
+// Stats is the GET /stats reply.
+type Stats struct {
+	Requests  uint64            `json:"requests"`
+	Solved    uint64            `json:"solved"`
+	Errors    uint64            `json:"errors"`
+	Rejected  uint64            `json:"rejected"`
+	InFlight  int64             `json:"in_flight"`
+	UptimeSec float64           `json:"uptime_sec"`
+	Cache     CacheStats        `json:"cache"`
+	PerMethod map[string]uint64 `json:"per_method"`
+}
+
+// CacheStats reports the session cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Server is the asyrgsd HTTP daemon state.
+type Server struct {
+	cfg   Config
+	cache *sessionCache
+	gate  chan struct{}
+	mux   *http.ServeMux
+	start time.Time
+
+	requests atomic.Uint64
+	solved   atomic.Uint64
+	errs     atomic.Uint64
+	rejected atomic.Uint64
+	inFlight atomic.Int64
+
+	methodMu sync.Mutex
+	byMethod map[string]uint64
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newSessionCache(cfg.CacheSize),
+		gate:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		byMethod: map[string]uint64{},
+	}
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /methods", s.handleMethods)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errs.Add(1)
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// reject sheds a request at the admission gate: counted as rejected, not
+// as an error, so the errors counter keeps its alerting signal.
+func (s *Server) reject(w http.ResponseWriter, format string, args ...any) {
+	s.rejected.Add(1)
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}
+	var out []entry
+	for _, m := range method.All() {
+		out = append(out, entry{Name: m.Name(), Kind: m.Kind().String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, evictions, size := s.cache.counters()
+	s.methodMu.Lock()
+	perMethod := make(map[string]uint64, len(s.byMethod))
+	for k, v := range s.byMethod {
+		perMethod[k] = v
+	}
+	s.methodMu.Unlock()
+	writeJSON(w, http.StatusOK, Stats{
+		Requests:  s.requests.Load(),
+		Solved:    s.solved.Load(),
+		Errors:    s.errs.Load(),
+		Rejected:  s.rejected.Load(),
+		InFlight:  s.inFlight.Load(),
+		UptimeSec: time.Since(s.start).Seconds(),
+		Cache: CacheStats{
+			Hits: hits, Misses: misses, Evictions: evictions,
+			Size: size, Capacity: s.cfg.CacheSize,
+		},
+		PerMethod: perMethod,
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Method == "" {
+		req.Method = "asyrgs"
+	}
+	// Fixed-work mode (Tol <= 0) is a bench-harness convention; API
+	// clients omitting tol expect a sensible convergence target.
+	if req.Tol <= 0 {
+		req.Tol = 1e-6
+	}
+	m, err := method.Get(req.Method)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission gate: bound concurrent solves, waiting at most
+	// QueueTimeout for a slot.
+	admit := time.NewTimer(s.cfg.QueueTimeout)
+	defer admit.Stop()
+	select {
+	case s.gate <- struct{}{}:
+		defer func() { <-s.gate }()
+	case <-admit.C:
+		s.reject(w, "server at capacity (%d in flight); retry later", s.cfg.MaxConcurrent)
+		return
+	case <-r.Context().Done():
+		s.reject(w, "client went away while queued")
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	key := req.Matrix.key()
+	a, hit, err := s.cache.getOrBuild(key, func() (*sparse.CSR, error) {
+		return req.Matrix.build(s.cfg.MaxDim)
+	})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "building matrix: %v", err)
+		return
+	}
+	if m.Kind() == method.SPD && a.Rows != a.Cols {
+		s.fail(w, http.StatusBadRequest, "method %q needs a square system, matrix is %dx%d", req.Method, a.Rows, a.Cols)
+		return
+	}
+	if m.Kind() == method.LeastSquares && a.Rows < a.Cols {
+		s.fail(w, http.StatusBadRequest, "method %q needs rows >= cols, matrix is %dx%d", req.Method, a.Rows, a.Cols)
+		return
+	}
+
+	// Right-hand side: supplied, or generated (with a known solution for
+	// SPD systems so the response can report the A-norm error).
+	b := req.B
+	var xstar []float64
+	if len(b) == 0 {
+		if m.Kind() == method.SPD {
+			b, xstar = workload.RHSForSolution(a, req.RHSSeed)
+		} else {
+			b = workload.RandomRHS(a.Rows, req.RHSSeed)
+		}
+	} else if len(b) != a.Rows {
+		s.fail(w, http.StatusBadRequest, "right-hand side has %d entries, matrix has %d rows", len(b), a.Rows)
+		return
+	}
+
+	// The solve context honours both client disconnects and the server's
+	// per-request budget.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
+	defer cancel()
+
+	x := make([]float64, a.Cols)
+	res, err := m.Solve(ctx, a, b, x, method.Opts{
+		Tol: req.Tol, MaxSweeps: req.MaxSweeps, Workers: req.Workers,
+		Beta: req.Beta, Seed: req.Seed, Inner: req.Inner,
+		CheckEvery: req.CheckEvery, XStar: xstar,
+		MeasureDelay: req.MeasureDelay,
+	})
+	switch {
+	case err == nil || errors.Is(err, method.ErrNotConverged):
+		// A budget-exhausted solve is still a well-formed answer.
+	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+		s.fail(w, http.StatusGatewayTimeout, "solve cancelled: %v", err)
+		return
+	default:
+		s.fail(w, http.StatusBadRequest, "solve failed: %v", err)
+		return
+	}
+
+	s.solved.Add(1)
+	s.methodMu.Lock()
+	s.byMethod[req.Method]++
+	s.methodMu.Unlock()
+
+	resp := SolveResponse{
+		Method: res.Method, Kind: m.Kind().String(), MatrixKey: key, CacheHit: hit,
+		Rows: a.Rows, Cols: a.Cols,
+		Residual: res.Residual, Converged: res.Converged,
+		Sweeps: res.Sweeps, Iterations: res.Iterations,
+		WallMS: float64(res.Wall) / float64(time.Millisecond), ObservedTau: res.ObservedTau,
+	}
+	if !math.IsNaN(res.ANormErr) {
+		resp.ANormErr = &res.ANormErr
+	}
+	if req.IncludeSolution {
+		resp.X = x
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
