@@ -229,6 +229,13 @@ type (
 	// MethodKind classifies a method's accepted systems (SPD or
 	// least squares).
 	MethodKind = method.Kind
+	// PreparedSystem is per-matrix solver state captured once by
+	// PrepareMethod and reused across Solve/SolveBatch calls — the warm
+	// half of the two-phase Prepare/Solve pipeline.
+	PreparedSystem = method.PreparedSystem
+	// MethodPreparer is implemented by methods whose per-matrix setup is
+	// separable from iteration (all built-ins are).
+	MethodPreparer = method.Preparer
 )
 
 // Registry access and method-kind constants.
@@ -245,6 +252,11 @@ var (
 	RegisterMethod = method.Register
 	// ErrUnknownMethod is returned by GetMethod for unregistered names.
 	ErrUnknownMethod = method.ErrUnknownMethod
+	// PrepareMethod captures a method's per-matrix state (Gram/CSC views,
+	// row norms, diagonal scaling, sampling CDFs) once; the returned
+	// PreparedSystem then solves any number of right-hand sides paying
+	// only iteration cost.
+	PrepareMethod = method.Prepare
 )
 
 // Method kinds.

@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	asybench [-exp all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho]
+//	asybench [-exp all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho|prepare|...]
 //	         [-n terms] [-rhs cols] [-sweeps k] [-repeats r] [-seed s]
-//	         [-tol eps] [-threads list]
+//	         [-tol eps] [-threads list] [-json baseline.json]
+//
+// The prepare experiment measures the two-phase pipeline's amortization
+// (cold Prepare+Solve vs warm Solve over a cached PreparedSystem); with
+// -json it also writes the rows as a machine-readable baseline, the
+// BENCH_prepare.json artifact CI regenerates on every PR.
 package main
 
 import (
@@ -22,7 +27,8 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho|delays|sampling|faults|distmem|classic|methods")
+		exp     = flag.String("exp", "all", "experiment: all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho|delays|sampling|faults|distmem|classic|methods|prepare")
+		jsonOut = flag.String("json", "", "write the prepare experiment's rows as a JSON baseline to this file")
 		terms   = flag.Int("n", 1500, "Gram matrix dimension (paper: 120147)")
 		rhs     = flag.Int("rhs", 16, "right-hand sides solved together (paper: 51)")
 		sweeps  = flag.Int("sweeps", 10, "sweeps for the fixed-work experiments (paper: 10)")
@@ -85,13 +91,28 @@ func main() {
 			r.ClassicVsRandomized(8, *sweeps)
 		case "methods":
 			r.MethodTable(1e-6, 500, 0)
+		case "prepare":
+			rows := r.PreparedVsCold(*sweeps)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "asybench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := bench.WritePrepareJSON(f, rows); err != nil {
+					fmt.Fprintf(os.Stderr, "asybench: writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+				f.Close()
+				fmt.Printf("prepare baseline written to %s\n", *jsonOut)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "asybench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"rho", "fig1", "fig2", "table1", "fig3", "theory", "beta", "sync", "lsq", "delays", "sampling", "faults", "distmem", "classic", "methods"} {
+		for _, name := range []string{"rho", "fig1", "fig2", "table1", "fig3", "theory", "beta", "sync", "lsq", "delays", "sampling", "faults", "distmem", "classic", "methods", "prepare"} {
 			run(name)
 		}
 		return

@@ -1,13 +1,16 @@
 // Command asyrgsd is the asynchronous-solver serving daemon: an HTTP
-// JSON API over the unified method registry. It accepts
-// MatrixMarket-or-generator-spec solve requests, keeps an LRU of prepared
-// systems keyed by matrix hash so repeated right-hand sides skip setup,
-// and bounds concurrency with a worker-pool admission gate.
+// JSON API over the unified method registry's two-phase Prepare/Solve
+// pipeline. It accepts MatrixMarket-or-generator-spec solve requests,
+// keeps LRUs of built matrices and of prepared solver systems (keyed by
+// matrix×method×prep-opts) so warm requests pay only iteration cost,
+// coalesces concurrent same-system requests into one batched multi-RHS
+// solve, and bounds concurrency with a worker-pool admission gate.
 //
 // Usage:
 //
-//	asyrgsd [-addr :8080] [-max-concurrent P] [-cache 16]
-//	        [-queue-timeout 5s] [-solve-timeout 60s] [-max-dim 1048576]
+//	asyrgsd [-addr :8080] [-max-concurrent P] [-cache 16] [-prep-cache 64]
+//	        [-batch-window 2ms] [-queue-timeout 5s] [-solve-timeout 60s]
+//	        [-max-dim 1048576] [-drain-timeout 10s]
 //
 // Endpoints: POST /solve, GET /methods, GET /healthz, GET /stats.
 //
@@ -17,6 +20,10 @@
 //	  "matrix": {"kind": "laplacian2d", "n": 64},
 //	  "method": "asyrgs", "tol": 1e-6, "max_sweeps": 2000
 //	}'
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight solves for up to -drain-timeout before exiting; a second
+// signal aborts immediately.
 package main
 
 import (
@@ -39,17 +46,22 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
-		maxConc      = flag.Int("max-concurrent", 0, "max in-flight solves (0 = GOMAXPROCS)")
-		cacheSize    = flag.Int("cache", 16, "prepared-system LRU capacity")
+		maxConc      = flag.Int("max-concurrent", 0, "max in-flight solve batches (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 16, "built-matrix LRU capacity")
+		prepCache    = flag.Int("prep-cache", 0, "prepared-system LRU capacity (0 = 4x -cache)")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for concurrent same-system requests (negative disables)")
 		queueTimeout = flag.Duration("queue-timeout", 5*time.Second, "max wait for an admission slot")
-		solveTimeout = flag.Duration("solve-timeout", 60*time.Second, "per-request solve budget")
+		solveTimeout = flag.Duration("solve-timeout", 60*time.Second, "per-batch solve budget")
 		maxDim       = flag.Int("max-dim", 1<<20, "largest accepted matrix dimension")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight solves on shutdown")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *maxConc,
 		CacheSize:     *cacheSize,
+		PrepCacheSize: *prepCache,
+		BatchWindow:   *batchWindow,
 		QueueTimeout:  *queueTimeout,
 		SolveTimeout:  *solveTimeout,
 		MaxDim:        *maxDim,
@@ -60,23 +72,32 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting new
+	// connections and drains in-flight solves for up to -drain-timeout; a
+	// second signal (or an expired drain budget) exits immediately.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	// ListenAndServe returns as soon as the listener closes; wait for
-	// Shutdown to finish draining in-flight solves before exiting.
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		stop() // restore default handling: a second signal kills the process
+		log.Printf("asyrgsd: shutdown requested, draining in-flight solves (up to %v)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		_ = httpSrv.Shutdown(shutdownCtx)
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("asyrgsd: drain incomplete: %v; closing", err)
+			_ = httpSrv.Close()
+			return
+		}
+		log.Printf("asyrgsd: drained cleanly")
 	}()
 
 	fmt.Printf("asyrgsd listening on %s (methods: %s)\n", *addr, strings.Join(method.Names(), ", "))
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to finish draining before exiting.
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("asyrgsd: %v", err)
 	}
-	stop()
 	<-drained
 }

@@ -14,19 +14,31 @@ import (
 )
 
 // runRegistry dispatches one fixed-work run (Tol <= 0 runs the exact
-// sweep budget) through the method registry — the single entry point all
-// ablation tables share instead of per-method construction code.
+// sweep budget) through the method registry's Prepare/Solve pipeline —
+// the single entry point all ablation tables share instead of per-method
+// construction code.
 func runRegistry(name string, a *sparse.CSR, b []float64, opts method.Opts) method.Result {
-	m, err := method.Get(name)
-	if err != nil {
-		panic(err)
-	}
+	ps := prepareRegistry(name, a, opts)
 	x := make([]float64, a.Cols)
-	res, err := m.Solve(context.Background(), a, b, x, opts)
+	res, err := ps.Solve(context.Background(), b, x, opts)
 	if err != nil && !errors.Is(err, method.ErrNotConverged) {
 		panic(err)
 	}
 	return res
+}
+
+// prepareRegistry captures the per-matrix state for one registry method,
+// panicking on misconfiguration (bench workloads are internally built).
+func prepareRegistry(name string, a *sparse.CSR, opts method.Opts) method.PreparedSystem {
+	m, err := method.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	ps, err := method.Prepare(context.Background(), m, a, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ps
 }
 
 // DelayRow is one row of the delay-distribution report.

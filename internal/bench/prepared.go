@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// PrepareRow is one row of the prepared-vs-cold amortization report: the
+// median wall time of a cold solve (Prepare + Solve per request, the
+// pre-pipeline serving cost) against a warm solve (Solve over a cached
+// PreparedSystem) at identical fixed work.
+type PrepareRow struct {
+	Method   string  `json:"method"`
+	Workload string  `json:"workload"`
+	Rows     int     `json:"rows"`
+	Cols     int     `json:"cols"`
+	Sweeps   int     `json:"sweeps"`
+	Repeats  int     `json:"repeats"`
+	PrepareM float64 `json:"prepare_ms"` // median Prepare wall time
+	ColdMS   float64 `json:"cold_ms"`    // median Prepare+Solve wall time
+	WarmMS   float64 `json:"warm_ms"`    // median Solve-only wall time
+	Speedup  float64 `json:"speedup"`    // ColdMS / WarmMS
+}
+
+// PreparedVsCold measures what the two-phase pipeline buys a serving
+// deployment: for each method family whose preparation is substantial
+// (Gram/CSC construction for least squares, row norms for Kaczmarz,
+// diagonal extraction for AsyRGS), it times cold solves — preparation
+// re-done per request, as every Method.Solve call does — against warm
+// solves over one PreparedSystem, at a fixed sweep budget small enough
+// that setup dominates. sweeps <= 0 means 2.
+func (r *Runner) PreparedVsCold(sweeps int) []PrepareRow {
+	r.Prepare()
+	if sweeps <= 0 {
+		sweeps = 2
+	}
+	repeats := r.Cfg.Repeats
+	if repeats < 1 {
+		repeats = 3
+	}
+	type scenario struct {
+		methodName string
+		workload   string
+		a          *sparse.CSR
+		b          []float64
+	}
+	lsqRHS := workload.RandomRHS(r.TermDoc.Rows, r.Cfg.Seed+7)
+	scenarios := []scenario{
+		// The least-squares workload is the headline case: preparation
+		// builds the CSC view and column norms of the term-document
+		// matrix, dwarfing a few coordinate-descent sweeps.
+		{"lsqcd", "term-doc", r.TermDoc, lsqRHS},
+		{"lsqcd-async", "term-doc", r.TermDoc, lsqRHS},
+		{"kaczmarz", "social-gram", r.Gram, r.bStar},
+		{"asyrgs", "social-gram", r.Gram, r.bStar},
+	}
+
+	r.printf("\n== Prepared vs cold: amortizing per-matrix setup across solves (%d fixed sweeps, median of %d) ==\n", sweeps, repeats)
+	r.printf("%-14s %-12s %-10s %-10s %-10s %-8s\n", "method", "workload", "prep", "cold", "warm", "speedup")
+	rows := make([]PrepareRow, 0, len(scenarios))
+	opts := method.Opts{Tol: 0, MaxSweeps: sweeps, CheckEvery: sweeps, Seed: r.Cfg.Seed}
+	for _, sc := range scenarios {
+		m, err := method.Get(sc.methodName)
+		if err != nil {
+			panic(err)
+		}
+		prepDs := make([]time.Duration, 0, repeats)
+		coldDs := make([]time.Duration, 0, repeats)
+		warmDs := make([]time.Duration, 0, repeats)
+		ps := prepareRegistry(sc.methodName, sc.a, opts)
+		for rep := 0; rep < repeats; rep++ {
+			prepDs = append(prepDs, timeIt(func() {
+				if _, err := method.Prepare(context.Background(), m, sc.a, opts); err != nil {
+					panic(err)
+				}
+			}))
+			x := make([]float64, sc.a.Cols)
+			coldDs = append(coldDs, timeIt(func() {
+				if _, err := m.Solve(context.Background(), sc.a, sc.b, x, opts); err != nil && !errors.Is(err, method.ErrNotConverged) {
+					panic(err)
+				}
+			}))
+			xw := make([]float64, sc.a.Cols)
+			warmDs = append(warmDs, timeIt(func() {
+				if _, err := ps.Solve(context.Background(), sc.b, xw, opts); err != nil && !errors.Is(err, method.ErrNotConverged) {
+					panic(err)
+				}
+			}))
+		}
+		row := PrepareRow{
+			Method: sc.methodName, Workload: sc.workload,
+			Rows: sc.a.Rows, Cols: sc.a.Cols,
+			Sweeps: sweeps, Repeats: repeats,
+			PrepareM: ms(median(prepDs)), ColdMS: ms(median(coldDs)), WarmMS: ms(median(warmDs)),
+		}
+		if row.WarmMS > 0 {
+			row.Speedup = row.ColdMS / row.WarmMS
+		}
+		rows = append(rows, row)
+		r.printf("%-14s %-12s %-10.3f %-10.3f %-10.3f %-8.2f\n",
+			row.Method, row.Workload, row.PrepareM, row.ColdMS, row.WarmMS, row.Speedup)
+	}
+	return rows
+}
+
+// ms converts a duration to milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WritePrepareJSON writes the prepared-vs-cold rows as an indented JSON
+// baseline (the CI artifact BENCH_prepare.json).
+func WritePrepareJSON(w io.Writer, rows []PrepareRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -25,7 +25,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"github.com/asynclinalg/asyrgs/internal/sparse"
@@ -119,39 +118,14 @@ const delayBuckets = 64
 // New validates the matrix and constructs a Solver. The matrix must be
 // square with non-zero diagonal; symmetry and positive definiteness are the
 // caller's contract (the convergence theory needs SPD, the iteration itself
-// only needs the diagonal).
+// only needs the diagonal). Callers that solve the same matrix repeatedly
+// should PrepareMatrix once and fork Solvers with NewFromPrep instead.
 func New(a *sparse.CSR, opts Options) (*Solver, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows, a.Cols)
+	p, err := PrepareMatrix(a)
+	if err != nil {
+		return nil, err
 	}
-	diag := a.Diag()
-	invD := make([]float64, len(diag))
-	for i, d := range diag {
-		if d == 0 {
-			return nil, fmt.Errorf("%w: row %d", ErrZeroDiagonal, i)
-		}
-		invD[i] = 1 / d
-	}
-	beta := opts.Beta
-	if beta == 0 {
-		beta = 1
-	}
-	if beta <= 0 || beta >= 2 {
-		return nil, fmt.Errorf("core: step size β=%g outside (0,2)", beta)
-	}
-	if opts.Workers < 0 {
-		return nil, fmt.Errorf("core: negative worker count %d", opts.Workers)
-	}
-	s := &Solver{a: a, diag: diag, invD: invD, beta: beta, opts: opts}
-	if opts.DiagonalWeighted {
-		for i, d := range diag {
-			if d <= 0 {
-				return nil, fmt.Errorf("core: diagonal-weighted sampling needs a positive diagonal, row %d has %g", i, d)
-			}
-		}
-		s.diagCDF = newWeightedSampler(diag).cdf
-	}
-	return s, nil
+	return NewFromPrep(p, opts)
 }
 
 // OptimalBeta returns the bound-optimal asynchronous step size

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+)
+
+// prepCount counts PrepareMatrix calls; the Prepare/Solve pipeline tests
+// use the delta to prove that cached prepared state never recomputes the
+// diagonal extraction or sampling CDF.
+var prepCount atomic.Uint64
+
+// PrepCount returns the number of per-matrix preparations performed so
+// far in this process.
+func PrepCount() uint64 { return prepCount.Load() }
+
+// Prep is the reusable per-matrix state of the core solver family: the
+// validated diagonal, its reciprocal (hoisted out of the inner loop), and
+// the lazily built diagonal-weighted sampling CDF. A Prep is immutable
+// after construction and safe for concurrent use; any number of Solvers
+// can be forked from it with NewFromPrep without re-running setup.
+type Prep struct {
+	a    *sparse.CSR
+	diag []float64
+	invD []float64
+
+	cdfOnce sync.Once
+	diagCDF []float64
+	cdfErr  error
+}
+
+// PrepareMatrix validates the matrix (square, non-zero diagonal) and
+// captures the per-matrix solver state: one Diag extraction and one
+// reciprocal pass, paid once per matrix instead of once per solve.
+func PrepareMatrix(a *sparse.CSR) (*Prep, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows, a.Cols)
+	}
+	prepCount.Add(1)
+	diag := a.Diag()
+	invD := make([]float64, len(diag))
+	for i, d := range diag {
+		if d == 0 {
+			return nil, fmt.Errorf("%w: row %d", ErrZeroDiagonal, i)
+		}
+		invD[i] = 1 / d
+	}
+	return &Prep{a: a, diag: diag, invD: invD}, nil
+}
+
+// Matrix returns the prepared matrix (shared, do not mutate).
+func (p *Prep) Matrix() *sparse.CSR { return p.a }
+
+// weightedCDF returns the cumulative A_rr/tr(A) distribution for
+// diagonal-weighted sampling, building and validating it on first use.
+func (p *Prep) weightedCDF() ([]float64, error) {
+	p.cdfOnce.Do(func() {
+		for i, d := range p.diag {
+			if d <= 0 {
+				p.cdfErr = fmt.Errorf("core: diagonal-weighted sampling needs a positive diagonal, row %d has %g", i, d)
+				return
+			}
+		}
+		p.diagCDF = newWeightedSampler(p.diag).cdf
+	})
+	return p.diagCDF, p.cdfErr
+}
+
+// NewFromPrep forks a Solver from prepared per-matrix state. It performs
+// only option validation — no matrix traversal — so it is cheap enough to
+// call once per solve, giving each solve a fresh direction stream and
+// delay statistics over the shared immutable Prep.
+func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
+	beta := opts.Beta
+	if beta == 0 {
+		beta = 1
+	}
+	if beta <= 0 || beta >= 2 {
+		return nil, fmt.Errorf("core: step size β=%g outside (0,2)", beta)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", opts.Workers)
+	}
+	s := &Solver{a: p.a, diag: p.diag, invD: p.invD, beta: beta, opts: opts}
+	if opts.DiagonalWeighted {
+		cdf, err := p.weightedCDF()
+		if err != nil {
+			return nil, err
+		}
+		s.diagCDF = cdf
+	}
+	return s, nil
+}

@@ -46,12 +46,60 @@ type Solver struct {
 	next     uint64
 }
 
-// New validates and prepares a solver for A·x = b. Rows with zero norm are
-// never selected.
-func New(a *sparse.CSR, opts Options) (*Solver, error) {
+// prepCount counts PrepareMatrix calls; the Prepare/Solve pipeline tests
+// use the delta to prove cached prepared state never recomputes row norms.
+var prepCount atomic.Uint64
+
+// PrepCount returns the number of per-matrix preparations (row-norm and
+// sampling-CDF passes) performed so far in this process.
+func PrepCount() uint64 { return prepCount.Load() }
+
+// Prep is the reusable per-matrix state of the Kaczmarz solvers: the row
+// norms ‖A_i‖² and the Strohmer–Vershynin sampling CDF. Immutable after
+// construction and safe for concurrent use; fork Solvers from it with
+// NewFromPrep.
+type Prep struct {
+	a        *sparse.CSR
+	rowNorm2 []float64
+	cdf      []float64
+}
+
+// PrepareMatrix computes the row norms and the norm-weighted sampling
+// distribution for A, paid once per matrix instead of once per solve.
+func PrepareMatrix(a *sparse.CSR) (*Prep, error) {
 	if a.Rows == 0 {
 		return nil, errors.New("kaczmarz: empty matrix")
 	}
+	prepCount.Add(1)
+	p := &Prep{a: a,
+		rowNorm2: make([]float64, a.Rows),
+		cdf:      make([]float64, a.Rows),
+	}
+	var total float64
+	for i := 0; i < a.Rows; i++ {
+		var nz float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			nz += a.Vals[k] * a.Vals[k]
+		}
+		p.rowNorm2[i] = nz
+		total += nz
+		p.cdf[i] = total
+	}
+	if total == 0 {
+		return nil, errors.New("kaczmarz: zero matrix")
+	}
+	for i := range p.cdf {
+		p.cdf[i] /= total
+	}
+	return p, nil
+}
+
+// Matrix returns the prepared matrix (shared, do not mutate).
+func (p *Prep) Matrix() *sparse.CSR { return p.a }
+
+// NewFromPrep forks a Solver from prepared per-matrix state, validating
+// only the options — no matrix traversal.
+func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
 	beta := opts.Beta
 	if beta == 0 {
 		beta = 1
@@ -59,26 +107,18 @@ func New(a *sparse.CSR, opts Options) (*Solver, error) {
 	if beta <= 0 || beta >= 2 {
 		return nil, errors.New("kaczmarz: step size outside (0,2)")
 	}
-	s := &Solver{a: a, opts: opts, beta: beta}
-	s.rowNorm2 = make([]float64, a.Rows)
-	s.cdf = make([]float64, a.Rows)
-	var total float64
-	for i := 0; i < a.Rows; i++ {
-		var nz float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			nz += a.Vals[k] * a.Vals[k]
-		}
-		s.rowNorm2[i] = nz
-		total += nz
-		s.cdf[i] = total
+	return &Solver{a: p.a, rowNorm2: p.rowNorm2, cdf: p.cdf, opts: opts, beta: beta}, nil
+}
+
+// New validates and prepares a solver for A·x = b. Rows with zero norm are
+// never selected. Callers that solve the same matrix repeatedly should
+// PrepareMatrix once and fork Solvers with NewFromPrep instead.
+func New(a *sparse.CSR, opts Options) (*Solver, error) {
+	p, err := PrepareMatrix(a)
+	if err != nil {
+		return nil, err
 	}
-	if total == 0 {
-		return nil, errors.New("kaczmarz: zero matrix")
-	}
-	for i := range s.cdf {
-		s.cdf[i] /= total
-	}
-	return s, nil
+	return NewFromPrep(p, opts)
 }
 
 // pickRow maps iteration index j to a row according to the configured

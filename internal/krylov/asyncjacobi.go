@@ -25,8 +25,14 @@ import (
 // the ablation against AsyRGS isolates the direction strategy, not the
 // memory model.
 func AsyncJacobi(a *sparse.CSR, x, b []float64, sweeps, workers int) StationaryResult {
+	return AsyncJacobiWithInv(a, InvDiag(a), x, b, sweeps, workers)
+}
+
+// AsyncJacobiWithInv is AsyncJacobi with a precomputed D⁻¹ (see InvDiag),
+// the prepared-state entry point: no per-call diagonal extraction.
+func AsyncJacobiWithInv(a *sparse.CSR, inv, x, b []float64, sweeps, workers int) StationaryResult {
 	n := a.Rows
-	if a.Cols != n || len(x) != n || len(b) != n {
+	if a.Cols != n || len(x) != n || len(b) != n || len(inv) != n {
 		panic("krylov: AsyncJacobi shape mismatch")
 	}
 	if workers < 1 {
@@ -34,13 +40,6 @@ func AsyncJacobi(a *sparse.CSR, x, b []float64, sweeps, workers int) StationaryR
 	}
 	if workers > n {
 		workers = n
-	}
-	diag := a.Diag()
-	inv := make([]float64, n)
-	for i, d := range diag {
-		if d != 0 {
-			inv[i] = 1 / d
-		}
 	}
 	// All workers start together (as real deployments launch them) and
 	// yield the processor between sweeps; there are still no barriers or
@@ -89,8 +88,14 @@ func AsyncJacobi(a *sparse.CSR, x, b []float64, sweeps, workers int) StationaryR
 // block and demonstrate the single-point-of-failure weakness that
 // randomization removes.
 func AsyncJacobiThrottled(a *sparse.CSR, x, b []float64, sweeps, workers int, throttle func(worker int, i int)) StationaryResult {
+	return AsyncJacobiThrottledWithInv(a, InvDiag(a), x, b, sweeps, workers, throttle)
+}
+
+// AsyncJacobiThrottledWithInv is AsyncJacobiThrottled with a precomputed
+// D⁻¹ (see InvDiag), the prepared-state entry point.
+func AsyncJacobiThrottledWithInv(a *sparse.CSR, inv, x, b []float64, sweeps, workers int, throttle func(worker int, i int)) StationaryResult {
 	n := a.Rows
-	if a.Cols != n || len(x) != n || len(b) != n {
+	if a.Cols != n || len(x) != n || len(b) != n || len(inv) != n {
 		panic("krylov: AsyncJacobiThrottled shape mismatch")
 	}
 	if workers < 1 {
@@ -98,13 +103,6 @@ func AsyncJacobiThrottled(a *sparse.CSR, x, b []float64, sweeps, workers int, th
 	}
 	if workers > n {
 		workers = n
-	}
-	diag := a.Diag()
-	inv := make([]float64, n)
-	for i, d := range diag {
-		if d != 0 {
-			inv[i] = 1 / d
-		}
 	}
 	start := make(chan struct{})
 	var done atomic.Int64

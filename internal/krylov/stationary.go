@@ -14,21 +14,37 @@ type StationaryResult struct {
 	Converged bool
 }
 
-// Jacobi runs sweeps of the Jacobi iteration x ← x + D⁻¹(b − A·x),
-// stopping early when the relative residual drops below tol (tol <= 0
-// disables the check). Jacobi is the classical synchronization-heavy
-// baseline that asynchronous methods historically relaxed.
-func Jacobi(a *sparse.CSR, x, b []float64, sweeps int, tol float64, workers int) StationaryResult {
-	n := a.Rows
-	if a.Cols != n || len(x) != n || len(b) != n {
-		panic("krylov: Jacobi shape mismatch")
-	}
+// InvDiag returns the entrywise reciprocal of the matrix diagonal with
+// zero entries mapped to zero — the prepared state every stationary
+// iteration in this file consumes. Computing it once per matrix (rather
+// than once per chunk of sweeps) is what the ...WithInv variants exist
+// for.
+func InvDiag(a *sparse.CSR) []float64 {
 	diag := a.Diag()
-	inv := make([]float64, n)
+	inv := make([]float64, len(diag))
 	for i, d := range diag {
 		if d != 0 {
 			inv[i] = 1 / d
 		}
+	}
+	return inv
+}
+
+// Jacobi runs sweeps of the Jacobi iteration x ← x + D⁻¹(b − A·x),
+// stopping early when the relative residual drops below tol (tol <= 0
+// disables the check). Jacobi is the classical synchronization-heavy
+// baseline that asynchronous methods historically relaxed. Repeated
+// solves against one matrix should hoist InvDiag and call JacobiWithInv.
+func Jacobi(a *sparse.CSR, x, b []float64, sweeps int, tol float64, workers int) StationaryResult {
+	return JacobiWithInv(a, InvDiag(a), x, b, sweeps, tol, workers)
+}
+
+// JacobiWithInv is Jacobi with a precomputed D⁻¹ (see InvDiag), the
+// prepared-state entry point: no per-call diagonal extraction.
+func JacobiWithInv(a *sparse.CSR, inv, x, b []float64, sweeps int, tol float64, workers int) StationaryResult {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n || len(inv) != n {
+		panic("krylov: Jacobi shape mismatch")
 	}
 	normB := vec.Nrm2(b)
 	if normB == 0 {
@@ -62,20 +78,26 @@ func Jacobi(a *sparse.CSR, x, b []float64, sweeps int, tol float64, workers int)
 // GaussSeidel runs deterministic forward Gauss–Seidel sweeps:
 // x_i ← (b_i − Σ_{j≠i} A_ij x_j)/A_ii in row order. It is inherently
 // sequential — the baseline whose randomized counterpart the paper builds
-// on.
+// on. Repeated solves against one matrix should hoist InvDiag and call
+// GaussSeidelWithInv.
 func GaussSeidel(a *sparse.CSR, x, b []float64, sweeps int, tol float64) StationaryResult {
+	return GaussSeidelWithInv(a, InvDiag(a), x, b, sweeps, tol)
+}
+
+// GaussSeidelWithInv is GaussSeidel with a precomputed D⁻¹ (see InvDiag),
+// the prepared-state entry point: no per-call diagonal extraction.
+func GaussSeidelWithInv(a *sparse.CSR, inv, x, b []float64, sweeps int, tol float64) StationaryResult {
 	n := a.Rows
-	if a.Cols != n || len(x) != n || len(b) != n {
+	if a.Cols != n || len(x) != n || len(b) != n || len(inv) != n {
 		panic("krylov: GaussSeidel shape mismatch")
 	}
-	diag := a.Diag()
 	normB := vec.Nrm2(b)
 	if normB == 0 {
 		normB = 1
 	}
 	for s := 1; s <= sweeps; s++ {
 		for i := 0; i < n; i++ {
-			if diag[i] == 0 {
+			if inv[i] == 0 {
 				continue
 			}
 			var dot float64
@@ -83,7 +105,7 @@ func GaussSeidel(a *sparse.CSR, x, b []float64, sweeps int, tol float64) Station
 				dot += a.Vals[k] * x[a.ColIdx[k]]
 			}
 			// dot includes A_ii·x_i; solve for the updated x_i directly.
-			x[i] += (b[i] - dot) / diag[i]
+			x[i] += (b[i] - dot) * inv[i]
 		}
 		if tol > 0 {
 			if res := relResidual(a, x, b, normB); res <= tol {

@@ -53,11 +53,49 @@ type Solver struct {
 	next     uint64
 }
 
-// New validates A (must have no zero columns) and builds the solver.
-func New(a *sparse.CSR, opts Options) (*Solver, error) {
+// prepCount counts PrepareMatrix calls; the Prepare/Solve pipeline tests
+// use the delta to prove cached prepared state never rebuilds the CSC
+// transpose or the column norms.
+var prepCount atomic.Uint64
+
+// PrepCount returns the number of per-matrix preparations (CSC builds and
+// column-norm passes) performed so far in this process.
+func PrepCount() uint64 { return prepCount.Load() }
+
+// Prep is the reusable per-matrix state of the least-squares solvers: the
+// CSC column view of A (one transpose pass) and the squared column norms
+// ‖A e_j‖². Immutable after construction and safe for concurrent use;
+// fork Solvers from it with NewFromPrep.
+type Prep struct {
+	a        *sparse.CSR
+	csc      *sparse.CSC
+	colNorm2 []float64
+}
+
+// PrepareMatrix validates A (rows >= cols, no zero columns) and builds
+// the column view plus norms, paid once per matrix instead of per solve.
+func PrepareMatrix(a *sparse.CSR) (*Prep, error) {
 	if a.Rows < a.Cols {
 		return nil, errors.New("lsq: system must have at least as many rows as columns")
 	}
+	prepCount.Add(1)
+	csc := a.ToCSC()
+	norms := make([]float64, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		norms[j] = csc.ColNorm2Sq(j)
+		if norms[j] == 0 {
+			return nil, errors.New("lsq: matrix has a zero column")
+		}
+	}
+	return &Prep{a: a, csc: csc, colNorm2: norms}, nil
+}
+
+// Matrix returns the prepared matrix (shared, do not mutate).
+func (p *Prep) Matrix() *sparse.CSR { return p.a }
+
+// NewFromPrep forks a Solver from prepared per-matrix state, validating
+// only the options — no transpose or norm computation.
+func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
 	beta := opts.Beta
 	if beta == 0 {
 		if opts.Workers > 1 {
@@ -69,15 +107,18 @@ func New(a *sparse.CSR, opts Options) (*Solver, error) {
 	if beta <= 0 || beta >= 2 {
 		return nil, errors.New("lsq: step size outside (0,2)")
 	}
-	csc := a.ToCSC()
-	norms := make([]float64, a.Cols)
-	for j := 0; j < a.Cols; j++ {
-		norms[j] = csc.ColNorm2Sq(j)
-		if norms[j] == 0 {
-			return nil, errors.New("lsq: matrix has a zero column")
-		}
+	return &Solver{a: p.a, csc: p.csc, colNorm2: p.colNorm2, beta: beta, opts: opts}, nil
+}
+
+// New validates A (must have no zero columns) and builds the solver.
+// Callers that solve the same matrix repeatedly should PrepareMatrix once
+// and fork Solvers with NewFromPrep instead.
+func New(a *sparse.CSR, opts Options) (*Solver, error) {
+	p, err := PrepareMatrix(a)
+	if err != nil {
+		return nil, err
 	}
-	return &Solver{a: a, csc: csc, colNorm2: norms, beta: beta, opts: opts}, nil
+	return NewFromPrep(p, opts)
 }
 
 // Iterations runs m coordinate steps on x and returns nothing; use

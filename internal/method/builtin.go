@@ -11,98 +11,250 @@ import (
 	"github.com/asynclinalg/asyrgs/internal/krylov"
 	"github.com/asynclinalg/asyrgs/internal/lsq"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/vec"
 )
 
-// The built-in registry: every solver family of the repository. Variants
-// are separate entries so drivers and ablation tables are pure data.
+// The built-in registry: every solver family of the repository, wired
+// through the two-phase Prepare/Solve pipeline. Variants are separate
+// entries so drivers and ablation tables are pure data; each entry's
+// prepare hook captures the family's per-matrix state once.
 func init() {
 	Register(&funcMethod{name: "asyrgs", kind: SPD,
-		solve: coreSolve("asyrgs", core.Options{}, false)})
+		prepare: corePrepare("asyrgs", core.Options{}, false)})
 	Register(&funcMethod{name: "asyrgs-nonatomic", kind: SPD,
-		solve: coreSolve("asyrgs-nonatomic", core.Options{NonAtomic: true}, false)})
+		prepare: corePrepare("asyrgs-nonatomic", core.Options{NonAtomic: true}, false)})
 	Register(&funcMethod{name: "asyrgs-partitioned", kind: SPD,
-		solve: coreSolve("asyrgs-partitioned", core.Options{Partitioned: true}, false)})
+		prepare: corePrepare("asyrgs-partitioned", core.Options{Partitioned: true}, false)})
 	Register(&funcMethod{name: "asyrgs-weighted", kind: SPD,
-		solve: coreSolve("asyrgs-weighted", core.Options{DiagonalWeighted: true}, false)})
+		prepare: corePrepare("asyrgs-weighted", core.Options{DiagonalWeighted: true}, false)})
 	Register(&funcMethod{name: "rgs", kind: SPD,
-		solve: coreSolve("rgs", core.Options{}, true)})
-	Register(&funcMethod{name: "cg", kind: SPD, solve: cgSolve})
-	Register(&funcMethod{name: "fcg", kind: SPD, solve: fcgSolve})
-	Register(&funcMethod{name: "jacobi", kind: SPD, solve: jacobiSolve})
-	Register(&funcMethod{name: "gs", kind: SPD, solve: gsSolve})
-	Register(&funcMethod{name: "asyncjacobi", kind: SPD, solve: asyncJacobiSolve})
-	Register(&funcMethod{name: "kaczmarz", kind: SPD, solve: kaczmarzSolve})
+		prepare: corePrepare("rgs", core.Options{}, true)})
+	Register(&funcMethod{name: "cg", kind: SPD, prepare: cgPrepare})
+	Register(&funcMethod{name: "fcg", kind: SPD, prepare: fcgPrepare})
+	Register(&funcMethod{name: "jacobi", kind: SPD, prepare: stationaryPrepare("jacobi")})
+	Register(&funcMethod{name: "gs", kind: SPD, prepare: stationaryPrepare("gs")})
+	Register(&funcMethod{name: "asyncjacobi", kind: SPD, prepare: stationaryPrepare("asyncjacobi")})
+	Register(&funcMethod{name: "kaczmarz", kind: SPD, prepare: kaczmarzPrepare})
 	Register(&funcMethod{name: "lsqcd", kind: LeastSquares,
-		solve: lsqSolve("lsqcd", true)})
+		prepare: lsqPrepare("lsqcd", true)})
 	Register(&funcMethod{name: "lsqcd-async", kind: LeastSquares,
-		solve: lsqSolve("lsqcd-async", false)})
+		prepare: lsqPrepare("lsqcd-async", false)})
 }
 
-// coreSolve builds the solve function for the core AsyRGS/RGS family.
-// base carries the variant flags; sequential forces one worker (the
+// ---------------------------------------------------------------------------
+// AsyRGS / RGS family
+
+// corePrepared holds the reusable per-matrix state of the core family
+// (validated diagonal, reciprocal, sampling CDF) plus the variant flags.
+// Each Solve forks a fresh core.Solver over the shared core.Prep, so the
+// direction stream and delay statistics are per-solve while preparation
+// is paid exactly once.
+type corePrepared struct {
+	preparedBase
+	prep       *core.Prep
+	baseOpts   core.Options
+	sequential bool
+}
+
+// corePrepare builds the prepare hook for an AsyRGS/RGS variant. base
+// carries the variant flags; sequential forces one worker (the
 // synchronous Randomized Gauss–Seidel iteration).
-func coreSolve(name string, base core.Options, sequential bool) func(context.Context, *sparse.CSR, []float64, []float64, Opts) (Result, error) {
-	return func(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
-		opts = opts.withDefaults()
-		co := base
-		co.Workers = opts.Workers
-		if sequential {
-			co.Workers = 1
-		}
-		co.Beta = opts.Beta
-		co.Seed = opts.Seed
-		co.MeasureDelay = opts.MeasureDelay
-		co.Throttle = opts.Throttle
-		s, err := core.New(a, co)
+func corePrepare(name string, baseOpts core.Options, sequential bool) prepareFunc {
+	return func(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+		prep, err := core.PrepareMatrix(a)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		start := time.Now()
-		var res Result
-		for res.Sweeps < opts.MaxSweeps {
-			if err := ctx.Err(); err != nil {
-				return res, ctxErr(name, ctx)
-			}
-			step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
-			s.AsyncSweeps(x, b, step)
-			res.Sweeps += step
-			res.Residual = s.Residual(x, b)
-			if opts.converged(res.Residual) {
-				res.Converged = true
-				break
+		p := &corePrepared{
+			preparedBase: base(name, SPD, a),
+			prep:         prep, baseOpts: baseOpts, sequential: sequential,
+		}
+		if baseOpts.DiagonalWeighted {
+			// Surface the positive-diagonal requirement at prepare time;
+			// the CDF itself is memoized inside the Prep.
+			if _, err := core.NewFromPrep(prep, baseOpts); err != nil {
+				return nil, err
 			}
 		}
-		res.Iterations = s.Iterations()
-		res.ObservedTau = s.ObservedTau()
-		return res, finish(&res, a, x, opts, start, SPD)
+		return p, nil
 	}
 }
 
-// cgSolve wraps (parallel-SpMV) conjugate gradients; cancellation is
-// handled inside the CG loop so the recurrence is never restarted.
-func cgSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+// fork builds a per-solve core.Solver over the shared prepared state.
+func (p *corePrepared) fork(opts Opts) (*core.Solver, error) {
+	co := p.baseOpts
+	co.Workers = opts.Workers
+	if p.sequential {
+		co.Workers = 1
+	}
+	co.Beta = opts.Beta
+	co.Seed = opts.Seed
+	co.MeasureDelay = opts.MeasureDelay
+	co.Throttle = opts.Throttle
+	return core.NewFromPrep(p.prep, co)
+}
+
+func (p *corePrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
+	opts = opts.withDefaults()
+	s, err := p.fork(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	res := Result{Method: p.name}
+	for res.Sweeps < opts.MaxSweeps {
+		if err := ctx.Err(); err != nil {
+			return res, ctxErr(p.name, ctx)
+		}
+		step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
+		s.AsyncSweeps(x, b, step)
+		res.Sweeps += step
+		res.Residual = s.Residual(x, b)
+		if opts.converged(res.Residual) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Iterations = s.Iterations()
+	res.ObservedTau = s.ObservedTau()
+	return res, finish(&res, p.a, x, opts, start, SPD)
+}
+
+// SolveBatch runs every right-hand side together through the core block
+// iteration: each coordinate update touches the whole row-major RHS block
+// (the paper's multi-RHS locality trick), and convergence is checked for
+// all columns with one SpMM residual pass per CheckEvery sweeps.
+func (p *corePrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, opts Opts) ([]Result, error) {
+	if len(bs) != len(xs) {
+		panic("method: SolveBatch needs one initial guess per right-hand side")
+	}
+	c := len(bs)
+	if c == 0 {
+		return nil, nil
+	}
+	if c == 1 {
+		res, err := p.Solve(ctx, bs[0], xs[0], opts)
+		return []Result{res}, err
+	}
+	opts = opts.withDefaults()
+	s, err := p.fork(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := p.a.Rows
+	bblk := vec.NewDense(n, c)
+	xblk := vec.NewDense(n, c)
+	for j := range bs {
+		if len(bs[j]) != n || len(xs[j]) != n {
+			panic("method: SolveBatch shape mismatch")
+		}
+		bblk.SetCol(j, bs[j])
+		xblk.SetCol(j, xs[j])
+	}
+	flush := func() {
+		for j := range xs {
+			xblk.Col(xs[j], j)
+		}
+	}
+
+	start := time.Now()
+	results := make([]Result, c)
+	done := 0
+	var residuals []float64
+	for done < opts.MaxSweeps {
+		if err := ctx.Err(); err != nil {
+			flush()
+			stampBatch(results, p.name, start)
+			return results, ctxErr(p.name, ctx)
+		}
+		step := min(opts.CheckEvery, opts.MaxSweeps-done)
+		s.AsyncSweepsDense(xblk, bblk, step)
+		done += step
+		residuals = p.a.BatchRelResiduals(bblk.Data, xblk.Data, c, opts.Workers)
+		all := true
+		for _, r := range residuals {
+			if !opts.converged(r) {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+	}
+	flush()
+	var firstErr error
+	for j := range results {
+		results[j] = Result{
+			Residual: residuals[j], Converged: opts.converged(residuals[j]),
+			Sweeps: done, Iterations: s.Iterations(), ObservedTau: s.ObservedTau(),
+		}
+		if !results[j].Converged && opts.Tol > 0 && firstErr == nil {
+			firstErr = ErrNotConverged
+		}
+	}
+	stampBatch(results, p.name, start)
+	return results, firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Krylov methods
+
+// cgPrepared wraps (parallel-SpMV) conjugate gradients. CG keeps no
+// per-matrix state beyond the matrix itself, so preparation is trivially
+// cheap; it still participates in the pipeline so serving caches treat
+// every method uniformly.
+type cgPrepared struct {
+	preparedBase
+}
+
+func cgPrepare(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+	return &cgPrepared{preparedBase: base("cg", SPD, a)}, nil
+}
+
+func (p *cgPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	cgRes, err := krylov.CG(a, x, b, krylov.CGOptions{
+	cgRes, err := krylov.CG(p.a, x, b, krylov.CGOptions{
 		Tol: effectiveTol(opts.Tol), MaxIter: opts.MaxSweeps, Workers: opts.Workers,
 		Partition: sparse.PartitionRoundRobin, Ctx: ctx,
 	})
 	res := Result{
+		Method:   p.name,
 		Residual: cgRes.Residual, Converged: cgRes.Converged,
 		Sweeps: cgRes.Iterations, Iterations: uint64(cgRes.Iterations),
 	}
 	if isCtxErr(err) {
 		res.Wall = time.Since(start)
-		return res, ctxErr("cg", ctx)
+		return res, ctxErr(p.name, ctx)
 	}
-	return res, finish(&res, a, x, opts, start, SPD)
+	return res, finish(&res, p.a, x, opts, start, SPD)
 }
 
-// fcgSolve wraps the paper's recommended high-accuracy configuration:
-// Flexible-CG preconditioned by Opts.Inner sweeps of AsyRGS.
-func fcgSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+func (p *cgPrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, opts Opts) ([]Result, error) {
+	return solveColumns(ctx, p, bs, xs, opts)
+}
+
+// fcgPrepared is the paper's recommended high-accuracy configuration:
+// Flexible-CG preconditioned by Opts.Inner sweeps of AsyRGS. The prepared
+// state is the preconditioner's core.Prep — the expensive part of FCG
+// setup — shared across solves.
+type fcgPrepared struct {
+	preparedBase
+	prep *core.Prep
+}
+
+func fcgPrepare(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+	prep, err := core.PrepareMatrix(a)
+	if err != nil {
+		return nil, err
+	}
+	return &fcgPrepared{preparedBase: base("fcg", SPD, a), prep: prep}, nil
+}
+
+func (p *fcgPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
-	s, err := core.New(a, core.Options{
+	s, err := core.NewFromPrep(p.prep, core.Options{
 		Workers: opts.Workers, Beta: opts.Beta, Seed: opts.Seed,
 		Throttle: opts.Throttle,
 	})
@@ -111,19 +263,24 @@ func fcgSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Re
 	}
 	pre := krylov.PrecondFunc(func(z, r []float64) { s.Precondition(z, r, opts.Inner) })
 	start := time.Now()
-	fcgRes, err := krylov.FlexibleCG(a, x, b, pre, krylov.FCGOptions{
+	fcgRes, err := krylov.FlexibleCG(p.a, x, b, pre, krylov.FCGOptions{
 		Tol: effectiveTol(opts.Tol), MaxIter: opts.MaxSweeps, Workers: opts.Workers,
 		Partition: sparse.PartitionRoundRobin, Ctx: ctx,
 	})
 	res := Result{
+		Method:   p.name,
 		Residual: fcgRes.Residual, Converged: fcgRes.Converged,
 		Sweeps: fcgRes.Iterations, Iterations: s.Iterations(),
 	}
 	if isCtxErr(err) {
 		res.Wall = time.Since(start)
-		return res, ctxErr("fcg", ctx)
+		return res, ctxErr(p.name, ctx)
 	}
-	return res, finish(&res, a, x, opts, start, SPD)
+	return res, finish(&res, p.a, x, opts, start, SPD)
+}
+
+func (p *fcgPrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, opts Opts) ([]Result, error) {
+	return solveColumns(ctx, p, bs, xs, opts)
 }
 
 // effectiveTol maps the registry's "non-positive tolerance = fixed work"
@@ -143,41 +300,62 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// jacobiSolve chunks classical Jacobi sweeps; the iterate carries all
-// state, so chunking is exact.
-func jacobiSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
-	return chunkedStationary(ctx, "jacobi", a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
-		return krylov.Jacobi(a, x, b, chunk, tol, opts.Workers)
-	})
+// ---------------------------------------------------------------------------
+// Classical stationary baselines
+
+// stationaryPrepared holds the prepared state of the Jacobi, Gauss–Seidel
+// and chaotic-relaxation baselines: the reciprocal diagonal, extracted
+// once per matrix instead of once per chunk of sweeps.
+type stationaryPrepared struct {
+	preparedBase
+	inv []float64
 }
 
-// gsSolve chunks deterministic forward Gauss–Seidel sweeps.
-func gsSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
-	return chunkedStationary(ctx, "gs", a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
-		return krylov.GaussSeidel(a, x, b, chunk, tol)
-	})
-}
-
-// asyncJacobiSolve chunks the chaotic-relaxation baseline; the throttled
-// variant is selected when a fault-injection hook is present.
-func asyncJacobiSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
-	var iter atomic.Uint64 // the throttle hook is invoked from every worker
-	return chunkedStationary(ctx, "asyncjacobi", a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
-		if opts.Throttle != nil {
-			return krylov.AsyncJacobiThrottled(a, x, b, chunk, opts.Workers, func(w, i int) {
-				opts.Throttle(w, iter.Add(1)-1)
-			})
+func stationaryPrepare(name string) prepareFunc {
+	return func(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+		if a.Rows != a.Cols {
+			return nil, errors.New("method: " + name + " needs a square matrix")
 		}
-		return krylov.AsyncJacobi(a, x, b, chunk, opts.Workers)
-	})
+		return &stationaryPrepared{
+			preparedBase: base(name, SPD, a),
+			inv:          krylov.InvDiag(a),
+		}, nil
+	}
+}
+
+func (p *stationaryPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
+	switch p.name {
+	case "jacobi":
+		return chunkedStationary(ctx, p.name, p.a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
+			return krylov.JacobiWithInv(p.a, p.inv, x, b, chunk, tol, opts.Workers)
+		})
+	case "gs":
+		return chunkedStationary(ctx, p.name, p.a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
+			return krylov.GaussSeidelWithInv(p.a, p.inv, x, b, chunk, tol)
+		})
+	default: // asyncjacobi
+		var iter atomic.Uint64 // the throttle hook is invoked from every worker
+		return chunkedStationary(ctx, p.name, p.a, b, x, opts, func(chunk int, tol float64) krylov.StationaryResult {
+			if opts.Throttle != nil {
+				return krylov.AsyncJacobiThrottledWithInv(p.a, p.inv, x, b, chunk, opts.Workers, func(w, i int) {
+					opts.Throttle(w, iter.Add(1)-1)
+				})
+			}
+			return krylov.AsyncJacobiWithInv(p.a, p.inv, x, b, chunk, opts.Workers)
+		})
+	}
+}
+
+func (p *stationaryPrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, opts Opts) ([]Result, error) {
+	return solveColumns(ctx, p, bs, xs, opts)
 }
 
 // chunkedStationary runs a stationary iteration CheckEvery sweeps at a
-// time, checking the context between chunks. Each chunk call re-runs the
-// underlying iteration's setup and a trailing residual matvec, so when
-// the caller did not pick a granularity the default is a larger chunk
-// than the shared CheckEvery=1 (the iterations stop early within a chunk
-// once tol is met, so a big chunk cannot overshoot).
+// time, checking the context between chunks. Each chunk call re-runs a
+// trailing residual matvec, so when the caller did not pick a granularity
+// the default is a larger chunk than the shared CheckEvery=1 (the
+// iterations stop early within a chunk once tol is met, so a big chunk
+// cannot overshoot).
 func chunkedStationary(ctx context.Context, name string, a *sparse.CSR, b, x []float64, opts Opts, sweep func(chunk int, tol float64) krylov.StationaryResult) (Result, error) {
 	if opts.CheckEvery <= 0 {
 		opts.CheckEvery = 16
@@ -185,7 +363,7 @@ func chunkedStationary(ctx context.Context, name string, a *sparse.CSR, b, x []f
 	opts = opts.withDefaults()
 	n := uint64(a.Rows)
 	start := time.Now()
-	var res Result
+	res := Result{Method: name}
 	for res.Sweeps < opts.MaxSweeps {
 		if err := ctx.Err(); err != nil {
 			return res, ctxErr(name, ctx)
@@ -203,71 +381,115 @@ func chunkedStationary(ctx context.Context, name string, a *sparse.CSR, b, x []f
 	return res, finish(&res, a, x, opts, start, SPD)
 }
 
-// kaczmarzSolve wraps randomized Kaczmarz; one sweep is n row
-// projections.
-func kaczmarzSolve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
+// ---------------------------------------------------------------------------
+// Randomized Kaczmarz
+
+// kaczmarzPrepared holds the Kaczmarz row norms and sampling CDF; one
+// sweep is n row projections.
+type kaczmarzPrepared struct {
+	preparedBase
+	prep *kaczmarz.Prep
+}
+
+func kaczmarzPrepare(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+	prep, err := kaczmarz.PrepareMatrix(a)
+	if err != nil {
+		return nil, err
+	}
+	return &kaczmarzPrepared{preparedBase: base("kaczmarz", SPD, a), prep: prep}, nil
+}
+
+func (p *kaczmarzPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
-	s, err := kaczmarz.New(a, kaczmarz.Options{
+	s, err := kaczmarz.NewFromPrep(p.prep, kaczmarz.Options{
 		Workers: opts.Workers, Seed: opts.Seed, Beta: opts.Beta,
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
-	var res Result
+	res := Result{Method: p.name}
 	for res.Sweeps < opts.MaxSweeps {
 		if err := ctx.Err(); err != nil {
-			return res, ctxErr("kaczmarz", ctx)
+			return res, ctxErr(p.name, ctx)
 		}
 		step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
-		res.Residual = s.Iterations(x, b, step*a.Rows)
+		res.Residual = s.Iterations(x, b, step*p.a.Rows)
 		res.Sweeps += step
-		res.Iterations += uint64(step) * uint64(a.Rows)
+		res.Iterations += uint64(step) * uint64(p.a.Rows)
 		if opts.converged(res.Residual) {
 			res.Converged = true
 			break
 		}
 	}
-	return res, finish(&res, a, x, opts, start, SPD)
+	return res, finish(&res, p.a, x, opts, start, SPD)
 }
 
-// lsqSolve builds the solve function for the §8 least-squares coordinate
-// descent: sequential iteration (20) or asynchronous iteration (21). One
-// sweep is Cols coordinate steps; residuals are relative normal-equation
-// residuals ‖Aᵀ(b−Ax)‖₂/‖Aᵀb‖₂.
-func lsqSolve(name string, sequential bool) func(context.Context, *sparse.CSR, []float64, []float64, Opts) (Result, error) {
-	return func(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
-		opts = opts.withDefaults()
-		workers := opts.Workers
-		if sequential {
-			workers = 1
-		}
-		s, err := lsq.New(a, lsq.Options{Workers: workers, Seed: opts.Seed, Beta: opts.Beta})
+func (p *kaczmarzPrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, opts Opts) ([]Result, error) {
+	return solveColumns(ctx, p, bs, xs, opts)
+}
+
+// ---------------------------------------------------------------------------
+// §8 least-squares coordinate descent
+
+// lsqPrepared holds the CSC view and column norms of the §8 least-squares
+// coordinate descent: sequential iteration (20) or asynchronous iteration
+// (21). One sweep is Cols coordinate steps; residuals are relative
+// normal-equation residuals ‖Aᵀ(b−Ax)‖₂/‖Aᵀb‖₂.
+type lsqPrepared struct {
+	preparedBase
+	prep       *lsq.Prep
+	sequential bool
+}
+
+func lsqPrepare(name string, sequential bool) prepareFunc {
+	return func(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+		prep, err := lsq.PrepareMatrix(a)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		// ‖Aᵀb‖₂ is the optimality residual at x = 0; reuse the solver's
-		// CSC view instead of building another transpose.
-		normATb := s.LSQResidual(make([]float64, a.Cols), b)
-		if normATb == 0 {
-			normATb = 1
-		}
-		start := time.Now()
-		var res Result
-		for res.Sweeps < opts.MaxSweeps {
-			if err := ctx.Err(); err != nil {
-				return res, ctxErr(name, ctx)
-			}
-			step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
-			s.Iterations(x, b, step*a.Cols)
-			res.Sweeps += step
-			res.Iterations += uint64(step) * uint64(a.Cols)
-			res.Residual = s.LSQResidual(x, b) / normATb
-			if opts.converged(res.Residual) {
-				res.Converged = true
-				break
-			}
-		}
-		return res, finish(&res, a, x, opts, start, LeastSquares)
+		return &lsqPrepared{
+			preparedBase: base(name, LeastSquares, a),
+			prep:         prep, sequential: sequential,
+		}, nil
 	}
+}
+
+func (p *lsqPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
+	opts = opts.withDefaults()
+	workers := opts.Workers
+	if p.sequential {
+		workers = 1
+	}
+	s, err := lsq.NewFromPrep(p.prep, lsq.Options{Workers: workers, Seed: opts.Seed, Beta: opts.Beta})
+	if err != nil {
+		return Result{}, err
+	}
+	// ‖Aᵀb‖₂ is the optimality residual at x = 0; reuse the solver's
+	// CSC view instead of building another transpose.
+	normATb := s.LSQResidual(make([]float64, p.a.Cols), b)
+	if normATb == 0 {
+		normATb = 1
+	}
+	start := time.Now()
+	res := Result{Method: p.name}
+	for res.Sweeps < opts.MaxSweeps {
+		if err := ctx.Err(); err != nil {
+			return res, ctxErr(p.name, ctx)
+		}
+		step := min(opts.CheckEvery, opts.MaxSweeps-res.Sweeps)
+		s.Iterations(x, b, step*p.a.Cols)
+		res.Sweeps += step
+		res.Iterations += uint64(step) * uint64(p.a.Cols)
+		res.Residual = s.LSQResidual(x, b) / normATb
+		if opts.converged(res.Residual) {
+			res.Converged = true
+			break
+		}
+	}
+	return res, finish(&res, p.a, x, opts, start, LeastSquares)
+}
+
+func (p *lsqPrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, opts Opts) ([]Result, error) {
+	return solveColumns(ctx, p, bs, xs, opts)
 }

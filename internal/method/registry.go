@@ -77,19 +77,33 @@ func ByKind(k Kind) []Method {
 	return ms
 }
 
-// funcMethod adapts a closure to the Method interface; every built-in is
-// one of these.
+// prepareFunc captures one method family's per-matrix setup.
+type prepareFunc func(ctx context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error)
+
+// funcMethod adapts a prepare hook to the Method interface; every
+// built-in is one of these. Solve is the one-shot convenience path —
+// prepare plus a single solve — while Prepare exposes the two-phase
+// pipeline for callers that amortize setup across many right-hand sides.
 type funcMethod struct {
-	name  string
-	kind  Kind
-	solve func(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error)
+	name    string
+	kind    Kind
+	prepare prepareFunc
 }
 
 func (m *funcMethod) Name() string { return m.name }
 func (m *funcMethod) Kind() Kind   { return m.kind }
 
+// Prepare captures the method's per-matrix state for repeated solves.
+func (m *funcMethod) Prepare(ctx context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
+	return m.prepare(ctx, a, opts)
+}
+
 func (m *funcMethod) Solve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
-	res, err := m.solve(ctx, a, b, x, opts)
+	ps, err := m.Prepare(ctx, a, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := ps.Solve(ctx, b, x, opts)
 	res.Method = m.name
 	return res, err
 }

@@ -46,8 +46,8 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		}
 	}()
 	Register(&funcMethod{name: "cg", kind: SPD,
-		solve: func(context.Context, *sparse.CSR, []float64, []float64, Opts) (Result, error) {
-			return Result{}, nil
+		prepare: func(ctx context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
+			return nil, nil
 		}})
 }
 

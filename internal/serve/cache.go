@@ -3,16 +3,17 @@ package serve
 import (
 	"container/list"
 	"sync"
-
-	"github.com/asynclinalg/asyrgs/internal/sparse"
 )
 
-// sessionCache is a small LRU of prepared matrices keyed by matrix hash,
-// so repeated right-hand sides against the same system skip parsing or
-// regeneration. Concurrent requests for the same key share one build: the
-// first request constructs the matrix under the entry's once-latch while
-// the rest wait on it, and a failed build is not cached.
-type sessionCache struct {
+// sessionCache is a small generic LRU keyed by string, used twice by the
+// daemon: once for built matrices (so repeated requests skip parsing or
+// regeneration) and once for prepared solver systems keyed by
+// matrix×method×prep-opts (so a cache hit also skips Gram/row-norm/
+// diagonal preparation — the Prepare phase of the pipeline). Concurrent
+// requests for the same key share one build: the first request constructs
+// the value under the entry's once-latch while the rest wait on it, and a
+// failed build is not cached.
+type sessionCache[V any] struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
@@ -23,68 +24,74 @@ type sessionCache struct {
 	evictions uint64
 }
 
-// session is one prepared system.
-type session struct {
+// session is one cached entry.
+type session[V any] struct {
 	key  string
 	once sync.Once
-	a    *sparse.CSR
+	v    V
 	err  error
 }
 
-func newSessionCache(max int) *sessionCache {
+func newSessionCache[V any](max int) *sessionCache[V] {
 	if max < 1 {
 		max = 1
 	}
-	return &sessionCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+	return &sessionCache[V]{max: max, ll: list.New(), items: map[string]*list.Element{}}
 }
 
-// getOrBuild returns the cached matrix for key, building it with build on
+// getOrBuild returns the cached value for key, building it with build on
 // a miss. The boolean reports a cache hit.
-func (c *sessionCache) getOrBuild(key string, build func() (*sparse.CSR, error)) (*sparse.CSR, bool, error) {
+func (c *sessionCache[V]) getOrBuild(key string, build func() (V, error)) (V, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		c.mu.Unlock()
-		s := el.Value.(*session)
+		s := el.Value.(*session[V])
 		s.once.Do(func() {}) // wait for the in-flight build, if any
-		return s.a, true, s.err
+		return s.v, true, s.err
 	}
 	c.misses++
-	s := &session{key: key}
+	s := &session[V]{key: key}
 	el := c.ll.PushFront(s)
 	c.items[key] = el
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*session).key)
+		delete(c.items, oldest.Value.(*session[V]).key)
 		c.evictions++
 	}
 	c.mu.Unlock()
 
-	s.once.Do(func() { s.a, s.err = build() })
+	s.once.Do(func() { s.v, s.err = build() })
 	if s.err != nil {
 		// Do not cache failures: drop the entry if still present.
 		c.mu.Lock()
-		if el, ok := c.items[key]; ok && el.Value.(*session) == s {
+		if el, ok := c.items[key]; ok && el.Value.(*session[V]) == s {
 			c.ll.Remove(el)
 			delete(c.items, key)
 		}
 		c.mu.Unlock()
 	}
-	return s.a, false, s.err
+	return s.v, false, s.err
 }
 
 // len returns the number of cached sessions.
-func (c *sessionCache) len() int {
+func (c *sessionCache[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
 // counters returns a snapshot of the hit/miss/eviction counters.
-func (c *sessionCache) counters() (hits, misses, evictions uint64, size int) {
+func (c *sessionCache[V]) counters() (hits, misses, evictions uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions, c.ll.Len()
+}
+
+// stats packages the counters as the /stats cache block.
+func (c *sessionCache[V]) stats(capacity int) CacheStats {
+	hits, misses, evictions, size := c.counters()
+	return CacheStats{Hits: hits, Misses: misses, Evictions: evictions, Size: size, Capacity: capacity}
 }

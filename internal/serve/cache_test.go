@@ -14,7 +14,7 @@ import (
 func tinyMatrix() (*sparse.CSR, error) { return workload.RandomSPD(10, 3, 1.5, 1), nil }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newSessionCache(2)
+	c := newSessionCache[*sparse.CSR](2)
 	for i := 0; i < 3; i++ {
 		if _, hit, err := c.getOrBuild(fmt.Sprintf("k%d", i), tinyMatrix); hit || err != nil {
 			t.Fatalf("k%d: hit=%v err=%v", i, hit, err)
@@ -31,7 +31,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheTouchRefreshesRecency(t *testing.T) {
-	c := newSessionCache(2)
+	c := newSessionCache[*sparse.CSR](2)
 	c.getOrBuild("a", tinyMatrix)
 	c.getOrBuild("b", tinyMatrix)
 	c.getOrBuild("a", tinyMatrix) // touch a: b becomes LRU
@@ -45,7 +45,7 @@ func TestCacheTouchRefreshesRecency(t *testing.T) {
 }
 
 func TestCacheFailedBuildNotCached(t *testing.T) {
-	c := newSessionCache(4)
+	c := newSessionCache[*sparse.CSR](4)
 	boom := errors.New("boom")
 	if _, _, err := c.getOrBuild("bad", func() (*sparse.CSR, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("want boom, got %v", err)
@@ -59,7 +59,7 @@ func TestCacheFailedBuildNotCached(t *testing.T) {
 // TestCacheSharedBuild: concurrent requests for one key run the builder
 // exactly once; everyone gets the same matrix.
 func TestCacheSharedBuild(t *testing.T) {
-	c := newSessionCache(4)
+	c := newSessionCache[*sparse.CSR](4)
 	var builds atomic.Int64
 	build := func() (*sparse.CSR, error) {
 		builds.Add(1)

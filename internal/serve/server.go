@@ -1,15 +1,21 @@
 // Package serve implements the asyrgsd HTTP serving layer: a JSON API
-// that accepts MatrixMarket-or-generator-spec solve requests, dispatches
-// them through the unified method registry, keeps a small LRU of prepared
-// systems keyed by matrix hash so repeated right-hand sides skip setup,
-// and bounds concurrency with a worker-pool admission gate.
+// that accepts MatrixMarket-or-generator-spec solve requests and
+// dispatches them through the two-phase Prepare/Solve pipeline of the
+// unified method registry. Two LRUs make repeated traffic cheap — one of
+// built matrices keyed by matrix hash, one of prepared solver systems
+// keyed by matrix×method×prep-opts, so a warm request pays only
+// iteration cost (no parsing, no Gram/row-norm/diagonal setup). A
+// worker-pool admission gate bounds concurrency, and concurrent requests
+// for the same prepared system are coalesced into one batched multi-RHS
+// solve behind the gate.
 //
 // Endpoints:
 //
-//	POST /solve    one solve request (SolveRequest → SolveResponse)
+//	POST /solve    one solve request (SolveRequest → SolveResponse);
+//	               set "bs" for an explicit multi-RHS batch
 //	GET  /methods  the registry roster with kinds
 //	GET  /healthz  liveness probe
-//	GET  /stats    request, cache and per-method counters
+//	GET  /stats    request, cache, batching and per-method counters
 package serve
 
 import (
@@ -19,7 +25,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -34,15 +39,22 @@ import (
 
 // Config sizes the daemon. The zero value is usable.
 type Config struct {
-	// MaxConcurrent bounds in-flight solves (the admission gate); zero
-	// means GOMAXPROCS.
+	// MaxConcurrent bounds in-flight solve batches (the admission gate);
+	// zero means GOMAXPROCS.
 	MaxConcurrent int
 	// QueueTimeout is how long a request may wait for an admission slot
 	// before being rejected with 503; zero means 5s.
 	QueueTimeout time.Duration
-	// CacheSize is the prepared-system LRU capacity; zero means 16.
+	// CacheSize is the built-matrix LRU capacity; zero means 16.
 	CacheSize int
-	// SolveTimeout caps one solve's wall time; zero means 60s.
+	// PrepCacheSize is the prepared-system LRU capacity; zero means
+	// 4×CacheSize (several methods per cached matrix).
+	PrepCacheSize int
+	// BatchWindow is how long the first request for a prepared system
+	// waits for concurrent same-key requests to coalesce into one batched
+	// multi-RHS solve. Zero means 2ms; negative disables coalescing.
+	BatchWindow time.Duration
+	// SolveTimeout caps one solve batch's wall time; zero means 60s.
 	SolveTimeout time.Duration
 	// MaxDim rejects generator specs larger than this dimension; zero
 	// means 1 << 20.
@@ -61,6 +73,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 16
+	}
+	if c.PrepCacheSize <= 0 {
+		c.PrepCacheSize = 4 * c.CacheSize
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
 	}
 	if c.SolveTimeout <= 0 {
 		c.SolveTimeout = 60 * time.Second
@@ -174,6 +192,10 @@ type SolveRequest struct {
 	// by RHSSeed.
 	B       []float64 `json:"b,omitempty"`
 	RHSSeed uint64    `json:"rhs_seed,omitempty"`
+	// Bs is an explicit multi-RHS batch: all right-hand sides are solved
+	// together against one prepared system (SolveResponse.Batch holds the
+	// per-RHS outcomes). Mutually exclusive with B.
+	Bs [][]float64 `json:"bs,omitempty"`
 	// Solver knobs, mapped onto method.Opts.
 	Tol        float64 `json:"tol,omitempty"`
 	MaxSweeps  int     `json:"max_sweeps,omitempty"`
@@ -182,6 +204,11 @@ type SolveRequest struct {
 	Seed       uint64  `json:"seed,omitempty"`
 	Inner      int     `json:"inner,omitempty"`
 	CheckEvery int     `json:"check_every,omitempty"`
+	// FixedWork runs the bench-style fixed-sweep mode: the solver spends
+	// the whole MaxSweeps budget with no convergence target (tol is
+	// ignored). Without it, a missing or non-positive tol defaults to
+	// 1e-6.
+	FixedWork bool `json:"fixed_work,omitempty"`
 	// MeasureDelay enables asynchrony bookkeeping (observed_tau in the
 	// response) at a small per-iteration instrumentation cost.
 	MeasureDelay bool `json:"measure_delay,omitempty"`
@@ -189,12 +216,62 @@ type SolveRequest struct {
 	IncludeSolution bool `json:"include_solution,omitempty"`
 }
 
+// prepKey keys the prepared-system LRU: matrix × method × the options
+// the method's preparation consumes. Every built-in Prepare depends only
+// on the matrix (solver knobs like workers/beta/seed configure the
+// iteration, not the prepared state), so the prep-opts component is
+// empty: traffic varying only solver knobs still shares one prepared
+// entry. A method whose Prepare consumed an option would need that
+// option appended here.
+func (r SolveRequest) prepKey(matrixKey string) string {
+	return matrixKey + "|" + r.Method
+}
+
+// batchKey keys request coalescing: only requests that would run the
+// identical solve (same prepared system, same solver knobs) may share a
+// batched solve. The right-hand side is deliberately absent — it is the
+// per-item payload.
+func (r SolveRequest) batchKey(matrixKey string) string {
+	return fmt.Sprintf("%s|t%g|m%d|w%d|b%g|s%d|i%d|c%d|f%v|d%v",
+		r.prepKey(matrixKey), r.Tol, r.MaxSweeps, r.Workers, r.Beta, r.Seed, r.Inner,
+		r.CheckEvery, r.FixedWork, r.MeasureDelay)
+}
+
+// opts maps the request knobs onto method.Opts. FixedWork zeroes the
+// tolerance, which is the registry's fixed-sweep convention.
+func (r SolveRequest) opts() method.Opts {
+	tol := r.Tol
+	if r.FixedWork {
+		tol = 0
+	}
+	return method.Opts{
+		Tol: tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers,
+		Beta: r.Beta, Seed: r.Seed, Inner: r.Inner,
+		CheckEvery: r.CheckEvery, MeasureDelay: r.MeasureDelay,
+	}
+}
+
+// BatchEntry is one right-hand side's outcome inside a batched response.
+type BatchEntry struct {
+	Residual  float64   `json:"residual"`
+	Converged bool      `json:"converged"`
+	Sweeps    int       `json:"sweeps"`
+	X         []float64 `json:"x,omitempty"`
+}
+
 // SolveResponse is the POST /solve reply.
 type SolveResponse struct {
-	Method      string    `json:"method"`
-	Kind        string    `json:"kind"`
-	MatrixKey   string    `json:"matrix_key"`
-	CacheHit    bool      `json:"cache_hit"`
+	Method    string `json:"method"`
+	Kind      string `json:"kind"`
+	MatrixKey string `json:"matrix_key"`
+	// CacheHit reports a built-matrix cache hit; PrepHit a prepared-system
+	// cache hit (the request skipped the Prepare phase entirely).
+	CacheHit bool `json:"cache_hit"`
+	PrepHit  bool `json:"prep_hit"`
+	// BatchSize is the number of right-hand sides solved together in the
+	// batch this request was part of (explicit bs entries, or coalesced
+	// concurrent requests; 1 when the solve ran alone).
+	BatchSize   int       `json:"batch_size,omitempty"`
 	Rows        int       `json:"rows"`
 	Cols        int       `json:"cols"`
 	Residual    float64   `json:"residual"`
@@ -205,21 +282,32 @@ type SolveResponse struct {
 	ObservedTau int       `json:"observed_tau"`
 	ANormErr    *float64  `json:"a_norm_err,omitempty"`
 	X           []float64 `json:"x,omitempty"`
+	// Batch holds the per-RHS outcomes of an explicit bs request; the
+	// top-level Residual/Converged then summarize the worst column.
+	Batch []BatchEntry `json:"batch,omitempty"`
 }
 
 // Stats is the GET /stats reply.
 type Stats struct {
-	Requests  uint64            `json:"requests"`
-	Solved    uint64            `json:"solved"`
-	Errors    uint64            `json:"errors"`
-	Rejected  uint64            `json:"rejected"`
-	InFlight  int64             `json:"in_flight"`
-	UptimeSec float64           `json:"uptime_sec"`
-	Cache     CacheStats        `json:"cache"`
-	PerMethod map[string]uint64 `json:"per_method"`
+	Requests  uint64  `json:"requests"`
+	Solved    uint64  `json:"solved"`
+	Errors    uint64  `json:"errors"`
+	Rejected  uint64  `json:"rejected"`
+	InFlight  int64   `json:"in_flight"`
+	UptimeSec float64 `json:"uptime_sec"`
+	// Cache counts the built-matrix LRU; PrepCache the prepared-system
+	// LRU (a PrepCache hit skips Gram/row-norm/diagonal preparation).
+	Cache     CacheStats `json:"cache"`
+	PrepCache CacheStats `json:"prep_cache"`
+	// Batches counts solve batches executed behind the admission gate;
+	// CoalescedRequests counts requests that shared a batch with at least
+	// one other concurrent request.
+	Batches           uint64            `json:"batches"`
+	CoalescedRequests uint64            `json:"coalesced_requests"`
+	PerMethod         map[string]uint64 `json:"per_method"`
 }
 
-// CacheStats reports the session cache counters.
+// CacheStats reports one session cache's counters.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -228,19 +316,62 @@ type CacheStats struct {
 	Capacity  int    `json:"capacity"`
 }
 
+// errAtCapacity marks work shed at the admission gate.
+var errAtCapacity = errors.New("serve: at capacity")
+
+// acquireGate claims an admission slot, waiting at most QueueTimeout.
+// Callers that receive true must releaseGate.
+func (s *Server) acquireGate() bool {
+	admit := time.NewTimer(s.cfg.QueueTimeout)
+	defer admit.Stop()
+	select {
+	case s.gate <- struct{}{}:
+		return true
+	case <-admit.C:
+		return false
+	}
+}
+
+func (s *Server) releaseGate() { <-s.gate }
+
+// solveItem is one right-hand side travelling through a solve batch.
+type solveItem struct {
+	b, x []float64
+	// rctx is the originating request's context; it cancels the solve
+	// only when the batch serves no other client.
+	rctx context.Context
+	res  method.Result
+	err  error
+	// batchSize and done are written by the batch leader before done is
+	// closed.
+	batchSize int
+	done      chan struct{}
+}
+
+// pendingBatch collects same-key solve items during the batch window.
+type pendingBatch struct {
+	items []*solveItem
+}
+
 // Server is the asyrgsd HTTP daemon state.
 type Server struct {
-	cfg   Config
-	cache *sessionCache
-	gate  chan struct{}
-	mux   *http.ServeMux
-	start time.Time
+	cfg         Config
+	matrixCache *sessionCache[*sparse.CSR]
+	prepCache   *sessionCache[method.PreparedSystem]
+	gate        chan struct{}
+	mux         *http.ServeMux
+	start       time.Time
 
-	requests atomic.Uint64
-	solved   atomic.Uint64
-	errs     atomic.Uint64
-	rejected atomic.Uint64
-	inFlight atomic.Int64
+	batchMu sync.Mutex
+	pending map[string]*pendingBatch
+
+	requests  atomic.Uint64
+	solved    atomic.Uint64
+	errs      atomic.Uint64
+	rejected  atomic.Uint64
+	inFlight  atomic.Int64
+	batches   atomic.Uint64
+	coalesced atomic.Uint64
 
 	methodMu sync.Mutex
 	byMethod map[string]uint64
@@ -250,12 +381,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    newSessionCache(cfg.CacheSize),
-		gate:     make(chan struct{}, cfg.MaxConcurrent),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		byMethod: map[string]uint64{},
+		cfg:         cfg,
+		matrixCache: newSessionCache[*sparse.CSR](cfg.CacheSize),
+		prepCache:   newSessionCache[method.PreparedSystem](cfg.PrepCacheSize),
+		gate:        make(chan struct{}, cfg.MaxConcurrent),
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		pending:     map[string]*pendingBatch{},
+		byMethod:    map[string]uint64{},
 	}
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
 	s.mux.HandleFunc("GET /methods", s.handleMethods)
@@ -302,7 +435,6 @@ func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	hits, misses, evictions, size := s.cache.counters()
 	s.methodMu.Lock()
 	perMethod := make(map[string]uint64, len(s.byMethod))
 	for k, v := range s.byMethod {
@@ -310,18 +442,134 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.methodMu.Unlock()
 	writeJSON(w, http.StatusOK, Stats{
-		Requests:  s.requests.Load(),
-		Solved:    s.solved.Load(),
-		Errors:    s.errs.Load(),
-		Rejected:  s.rejected.Load(),
-		InFlight:  s.inFlight.Load(),
-		UptimeSec: time.Since(s.start).Seconds(),
-		Cache: CacheStats{
-			Hits: hits, Misses: misses, Evictions: evictions,
-			Size: size, Capacity: s.cfg.CacheSize,
-		},
-		PerMethod: perMethod,
+		Requests:          s.requests.Load(),
+		Solved:            s.solved.Load(),
+		Errors:            s.errs.Load(),
+		Rejected:          s.rejected.Load(),
+		InFlight:          s.inFlight.Load(),
+		UptimeSec:         time.Since(s.start).Seconds(),
+		Cache:             s.matrixCache.stats(s.cfg.CacheSize),
+		PrepCache:         s.prepCache.stats(s.cfg.PrepCacheSize),
+		Batches:           s.batches.Load(),
+		CoalescedRequests: s.coalesced.Load(),
+		PerMethod:         perMethod,
 	})
+}
+
+// runBatch executes one solve batch behind the admission gate and
+// publishes every item's outcome. It is the only place solves run.
+//
+// The batch context carries the server's per-solve budget. When the
+// batch serves exactly one client it is also derived from that client's
+// request context, so an abandoned request stops burning its admission
+// slot; a coalesced batch serves several clients, so there one client
+// going away must not cancel the others' solve.
+func (s *Server) runBatch(ps method.PreparedSystem, opts method.Opts, items []*solveItem) {
+	defer func() {
+		for _, it := range items {
+			it.batchSize = len(items)
+			close(it.done)
+		}
+	}()
+
+	// "One client" covers both a solo request and an explicit bs batch:
+	// every item then carries the same request context.
+	parent := context.Background()
+	if items[0].rctx != nil {
+		shared := true
+		for _, it := range items[1:] {
+			if it.rctx != items[0].rctx {
+				shared = false
+				break
+			}
+		}
+		if shared {
+			parent = items[0].rctx
+		}
+	}
+
+	// Admission gate: bound concurrent solve batches, waiting at most
+	// QueueTimeout for a slot.
+	admit := time.NewTimer(s.cfg.QueueTimeout)
+	defer admit.Stop()
+	select {
+	case s.gate <- struct{}{}:
+		defer s.releaseGate()
+	case <-admit.C:
+		for _, it := range items {
+			it.err = errAtCapacity
+		}
+		return
+	case <-parent.Done():
+		// The only client this batch serves went away while queued.
+		for _, it := range items {
+			it.err = parent.Err()
+		}
+		return
+	}
+	s.inFlight.Add(int64(len(items)))
+	defer s.inFlight.Add(-int64(len(items)))
+	s.batches.Add(1)
+	if len(items) > 1 {
+		s.coalesced.Add(uint64(len(items)))
+	}
+
+	ctx, cancel := context.WithTimeout(parent, s.cfg.SolveTimeout)
+	defer cancel()
+
+	if len(items) == 1 {
+		it := items[0]
+		it.res, it.err = ps.Solve(ctx, it.b, it.x, opts)
+		return
+	}
+	bs := make([][]float64, len(items))
+	xs := make([][]float64, len(items))
+	for i, it := range items {
+		bs[i] = it.b
+		xs[i] = it.x
+	}
+	results, err := ps.SolveBatch(ctx, bs, xs, opts)
+	for i, it := range items {
+		if i < len(results) {
+			it.res = results[i]
+		}
+		it.err = err
+	}
+}
+
+// solveCoalesced runs one right-hand side, merging it with concurrent
+// requests for the same prepared system and solver knobs: the first
+// arrival becomes the batch leader, waits BatchWindow for followers, and
+// executes everyone's solve as one batched multi-RHS run.
+func (s *Server) solveCoalesced(batchKey string, ps method.PreparedSystem, opts method.Opts, it *solveItem) {
+	if s.cfg.BatchWindow < 0 {
+		s.runBatch(ps, opts, []*solveItem{it})
+		return
+	}
+	s.batchMu.Lock()
+	if bt, ok := s.pending[batchKey]; ok {
+		bt.items = append(bt.items, it)
+		s.batchMu.Unlock()
+		<-it.done
+		return
+	}
+	bt := &pendingBatch{items: []*solveItem{it}}
+	s.pending[batchKey] = bt
+	s.batchMu.Unlock()
+
+	// Wait for followers only when another solve already holds the gate:
+	// an idle server runs immediately (no flat latency tax), while under
+	// contention — exactly when batching pays — the window collects the
+	// requests queueing behind the in-flight work.
+	if len(s.gate) > 0 {
+		time.Sleep(s.cfg.BatchWindow)
+	}
+
+	s.batchMu.Lock()
+	delete(s.pending, batchKey)
+	items := bt.items
+	s.batchMu.Unlock()
+	s.runBatch(ps, opts, items)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -337,10 +585,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Method == "" {
 		req.Method = "asyrgs"
 	}
-	// Fixed-work mode (Tol <= 0) is a bench-harness convention; API
-	// clients omitting tol expect a sensible convergence target.
-	if req.Tol <= 0 {
+	// API clients omitting tol expect a sensible convergence target;
+	// fixed-work mode is requested explicitly via fixed_work.
+	if req.Tol <= 0 && !req.FixedWork {
 		req.Tol = 1e-6
+	}
+	if len(req.B) > 0 && len(req.Bs) > 0 {
+		s.fail(w, http.StatusBadRequest, "b and bs are mutually exclusive")
+		return
 	}
 	m, err := method.Get(req.Method)
 	if err != nil {
@@ -348,28 +600,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission gate: bound concurrent solves, waiting at most
-	// QueueTimeout for a slot.
-	admit := time.NewTimer(s.cfg.QueueTimeout)
-	defer admit.Stop()
-	select {
-	case s.gate <- struct{}{}:
-		defer func() { <-s.gate }()
-	case <-admit.C:
-		s.reject(w, "server at capacity (%d in flight); retry later", s.cfg.MaxConcurrent)
-		return
-	case <-r.Context().Done():
-		s.reject(w, "client went away while queued")
-		return
-	}
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
-
+	// Phase 1 — prepare (or fetch) the per-matrix state. Both caches use
+	// a shared once-latch per key, so a thundering herd for one system
+	// builds and prepares it exactly once; the build/prepare closures run
+	// under the admission gate, so a burst of *distinct* systems cannot
+	// drive setup concurrency past MaxConcurrent either (cache hits skip
+	// the gate entirely).
 	key := req.Matrix.key()
-	a, hit, err := s.cache.getOrBuild(key, func() (*sparse.CSR, error) {
+	a, hit, err := s.matrixCache.getOrBuild(key, func() (*sparse.CSR, error) {
+		if !s.acquireGate() {
+			return nil, errAtCapacity
+		}
+		defer s.releaseGate()
 		return req.Matrix.build(s.cfg.MaxDim)
 	})
-	if err != nil {
+	switch {
+	case errors.Is(err, errAtCapacity):
+		s.reject(w, "server at capacity (%d batches in flight); retry later", s.cfg.MaxConcurrent)
+		return
+	case err != nil:
 		s.fail(w, http.StatusBadRequest, "building matrix: %v", err)
 		return
 	}
@@ -381,42 +630,85 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "method %q needs rows >= cols, matrix is %dx%d", req.Method, a.Rows, a.Cols)
 		return
 	}
-
-	// Right-hand side: supplied, or generated (with a known solution for
-	// SPD systems so the response can report the A-norm error).
-	b := req.B
-	var xstar []float64
-	if len(b) == 0 {
-		if m.Kind() == method.SPD {
-			b, xstar = workload.RHSForSolution(a, req.RHSSeed)
-		} else {
-			b = workload.RandomRHS(a.Rows, req.RHSSeed)
+	opts := req.opts()
+	prepKey := req.prepKey(key)
+	if pk, ok := m.(method.PrepKeyer); ok {
+		// A method whose Prepare consumes options contributes exactly
+		// those fields to the cache key, so differently-prepared systems
+		// never share an entry.
+		prepKey += "|" + pk.PrepKey(opts)
+	}
+	ps, prepHit, err := s.prepCache.getOrBuild(prepKey, func() (method.PreparedSystem, error) {
+		if !s.acquireGate() {
+			return nil, errAtCapacity
 		}
-	} else if len(b) != a.Rows {
-		s.fail(w, http.StatusBadRequest, "right-hand side has %d entries, matrix has %d rows", len(b), a.Rows)
+		defer s.releaseGate()
+		return method.Prepare(r.Context(), m, a, opts)
+	})
+	switch {
+	case errors.Is(err, errAtCapacity):
+		s.reject(w, "server at capacity (%d batches in flight); retry later", s.cfg.MaxConcurrent)
+		return
+	case err != nil:
+		s.fail(w, http.StatusBadRequest, "preparing system: %v", err)
 		return
 	}
 
-	// The solve context honours both client disconnects and the server's
-	// per-request budget.
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
-	defer cancel()
-
-	x := make([]float64, a.Cols)
-	res, err := m.Solve(ctx, a, b, x, method.Opts{
-		Tol: req.Tol, MaxSweeps: req.MaxSweeps, Workers: req.Workers,
-		Beta: req.Beta, Seed: req.Seed, Inner: req.Inner,
-		CheckEvery: req.CheckEvery, XStar: xstar,
-		MeasureDelay: req.MeasureDelay,
-	})
+	// Right-hand sides: explicit batch, explicit single, or generated
+	// (with a known solution for SPD systems so the response can report
+	// the A-norm error).
+	var items []*solveItem
+	var xstar []float64
+	explicitBatch := len(req.Bs) > 0
 	switch {
-	case err == nil || errors.Is(err, method.ErrNotConverged):
+	case explicitBatch:
+		for i, b := range req.Bs {
+			if len(b) != a.Rows {
+				s.fail(w, http.StatusBadRequest, "bs[%d] has %d entries, matrix has %d rows", i, len(b), a.Rows)
+				return
+			}
+			items = append(items, &solveItem{b: b, x: make([]float64, a.Cols), rctx: r.Context(), done: make(chan struct{})})
+		}
+	default:
+		b := req.B
+		if len(b) == 0 {
+			if m.Kind() == method.SPD {
+				b, xstar = workload.RHSForSolution(a, req.RHSSeed)
+			} else {
+				b = workload.RandomRHS(a.Rows, req.RHSSeed)
+			}
+		} else if len(b) != a.Rows {
+			s.fail(w, http.StatusBadRequest, "right-hand side has %d entries, matrix has %d rows", len(b), a.Rows)
+			return
+		}
+		items = append(items, &solveItem{b: b, x: make([]float64, a.Cols), rctx: r.Context(), done: make(chan struct{})})
+	}
+
+	// Phase 2 — solve. An explicit bs request is already a batch; a
+	// single-RHS request is coalesced with concurrent identical requests.
+	if explicitBatch {
+		s.runBatch(ps, opts, items)
+	} else {
+		s.solveCoalesced(req.batchKey(key), ps, opts, items[0])
+	}
+
+	it := items[0]
+	switch {
+	case it.err == nil || errors.Is(it.err, method.ErrNotConverged):
 		// A budget-exhausted solve is still a well-formed answer.
-	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
-		s.fail(w, http.StatusGatewayTimeout, "solve cancelled: %v", err)
+	case errors.Is(it.err, errAtCapacity):
+		s.reject(w, "server at capacity (%d batches in flight); retry later", s.cfg.MaxConcurrent)
+		return
+	case errors.Is(it.err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, "solve cancelled: %v", it.err)
+		return
+	case errors.Is(it.err, context.Canceled):
+		// Only a single-client batch is ever cancelled, and only by its
+		// own client going away — shed, not an error.
+		s.reject(w, "client went away during solve")
 		return
 	default:
-		s.fail(w, http.StatusBadRequest, "solve failed: %v", err)
+		s.fail(w, http.StatusBadRequest, "solve failed: %v", it.err)
 		return
 	}
 
@@ -426,17 +718,36 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.methodMu.Unlock()
 
 	resp := SolveResponse{
-		Method: res.Method, Kind: m.Kind().String(), MatrixKey: key, CacheHit: hit,
+		Method: it.res.Method, Kind: m.Kind().String(), MatrixKey: key,
+		CacheHit: hit, PrepHit: prepHit, BatchSize: it.batchSize,
 		Rows: a.Rows, Cols: a.Cols,
-		Residual: res.Residual, Converged: res.Converged,
-		Sweeps: res.Sweeps, Iterations: res.Iterations,
-		WallMS: float64(res.Wall) / float64(time.Millisecond), ObservedTau: res.ObservedTau,
+		Residual: it.res.Residual, Converged: it.res.Converged,
+		Sweeps: it.res.Sweeps, Iterations: it.res.Iterations,
+		WallMS: float64(it.res.Wall) / float64(time.Millisecond), ObservedTau: it.res.ObservedTau,
 	}
-	if !math.IsNaN(res.ANormErr) {
-		resp.ANormErr = &res.ANormErr
+	if xstar != nil && a.Rows == a.Cols {
+		if nx := a.ANorm(xstar); nx > 0 {
+			v := a.ANormErr(it.x, xstar) / nx
+			resp.ANormErr = &v
+		}
 	}
-	if req.IncludeSolution {
-		resp.X = x
+	if explicitBatch {
+		for _, bi := range items {
+			entry := BatchEntry{Residual: bi.res.Residual, Converged: bi.res.Converged, Sweeps: bi.res.Sweeps}
+			if req.IncludeSolution {
+				entry.X = bi.x
+			}
+			resp.Batch = append(resp.Batch, entry)
+			if bi.res.Residual > resp.Residual {
+				resp.Residual = bi.res.Residual
+			}
+			resp.Converged = resp.Converged && bi.res.Converged
+			if bi.res.Sweeps > resp.Sweeps {
+				resp.Sweeps = bi.res.Sweeps
+			}
+		}
+	} else if req.IncludeSolution {
+		resp.X = it.x
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

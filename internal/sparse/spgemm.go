@@ -4,7 +4,16 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// gramCalls counts Gram-matrix constructions. The Prepare/Solve tests use
+// the delta to prove that cached prepared state never re-runs SpGEMM.
+var gramCalls atomic.Uint64
+
+// GramCount returns the number of Gram-matrix (SpGEMM) constructions
+// performed so far in this process.
+func GramCount() uint64 { return gramCalls.Load() }
 
 // Mul computes C = A·B with Gustavson's row-by-row algorithm using a dense
 // sparse-accumulator (SPA) per worker. It is the workhorse behind Gram
@@ -89,6 +98,7 @@ func Mul(a, b *CSR) *CSR {
 // system is exactly such a matrix: the Gram matrix of a term-frequency
 // document matrix.
 func Gram(a *CSR) *CSR {
+	gramCalls.Add(1)
 	return Mul(a.Transpose(), a)
 }
 
