@@ -39,7 +39,10 @@
 // cmd/asyrgsd daemon serves the registry over HTTP JSON — generator-spec
 // or MatrixMarket solve requests, an LRU of prepared systems keyed by
 // matrix hash, a worker-pool admission gate, and /healthz and /stats
-// endpoints.
+// endpoints. The roster includes "asyrgs-distmem", the sharded
+// distributed-memory backend: each rank sole-updates its own coordinate
+// block and communicates only through bounded message queues — the
+// paper's named future-work deployment, served like any other method.
 //
 // The experiment harness that regenerates every table and figure of the
 // paper lives in cmd/asybench; DESIGN.md maps each experiment to the
@@ -301,21 +304,40 @@ var (
 	SimulateInconsistent = sim.RunInconsistent
 )
 
-// Distributed-memory emulation (the paper's future-work deployment).
+// Sharded distributed-memory backend (the paper's future-work
+// deployment, also registered as the "asyrgs-distmem" method).
 type (
-	// DistConfig configures the message-passing emulation of the
+	// DistConfig configures the message-passing sharded backend of the
 	// restricted-randomization solver.
 	DistConfig = distmem.Config
 	// DistResult reports a distributed run (residual, traffic, backlog).
 	DistResult = distmem.Result
+	// DistPrepared is the sharded per-matrix state (ownership partition,
+	// diagonal, per-rank streams) captured once by DistPrepare.
+	DistPrepared = distmem.Prepared
+	// DistSolver is a persistent pool of emulated ranks forked from a
+	// DistPrepared; rounds and right-hand sides reuse its goroutines.
+	DistSolver = distmem.Solver
+	// DistPartition is the coordinate-ownership map of a sharded run.
+	DistPartition = distmem.Partition
 )
 
 // Distributed solver entry points.
 var (
 	// DistSolve runs a fixed sweep budget on every emulated rank.
 	DistSolve = distmem.Solve
-	// DistSolveToTol iterates rounds of DistSolve to a tolerance.
+	// DistSolveToTol iterates rounds of DistSolve to a tolerance,
+	// accumulating message and backlog accounting across rounds.
 	DistSolveToTol = distmem.SolveToTol
+	// DistPrepare captures the sharded per-matrix state once; fork
+	// Solvers from it for repeated runs.
+	DistPrepare = distmem.Prepare
+	// DistPartitionContiguous splits n coordinates into equal-width
+	// blocks.
+	DistPartitionContiguous = distmem.Contiguous
+	// DistPartitionNNZBalanced splits rows into blocks of roughly equal
+	// nonzero count, balancing per-round work on skewed matrices.
+	DistPartitionNNZBalanced = distmem.NNZBalanced
 )
 
 // Workload generators.

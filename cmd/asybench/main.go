@@ -10,9 +10,12 @@
 //	         [-tol eps] [-threads list] [-json baseline.json]
 //
 // The prepare experiment measures the two-phase pipeline's amortization
-// (cold Prepare+Solve vs warm Solve over a cached PreparedSystem); with
-// -json it also writes the rows as a machine-readable baseline, the
-// BENCH_prepare.json artifact CI regenerates on every PR.
+// (cold Prepare+Solve vs warm Solve over a cached PreparedSystem); the
+// distmem experiment sweeps the sharded distributed-memory backend
+// (asyrgs-distmem, dispatched through the registry) over worker counts
+// and queue capacities. With -json either experiment also writes its
+// rows as a machine-readable baseline — the BENCH_prepare.json and
+// BENCH_distmem.json artifacts CI regenerates on every PR.
 package main
 
 import (
@@ -25,10 +28,28 @@ import (
 	"github.com/asynclinalg/asyrgs/internal/bench"
 )
 
+// writeBaseline writes one experiment's JSON baseline when -json is set.
+func writeBaseline(path string, write func(*os.File) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asybench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "asybench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("baseline written to %s\n", path)
+}
+
 func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment: all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho|delays|sampling|faults|distmem|classic|methods|prepare")
-		jsonOut = flag.String("json", "", "write the prepare experiment's rows as a JSON baseline to this file")
+		jsonOut = flag.String("json", "", "write the prepare/distmem experiment's rows as a JSON baseline to this file")
 		terms   = flag.Int("n", 1500, "Gram matrix dimension (paper: 120147)")
 		rhs     = flag.Int("rhs", 16, "right-hand sides solved together (paper: 51)")
 		sweeps  = flag.Int("sweeps", 10, "sweeps for the fixed-work experiments (paper: 10)")
@@ -58,6 +79,13 @@ func main() {
 
 	r := bench.NewRunner(cfg)
 	run := func(name string) {
+		// A baseline is written only for an explicitly selected
+		// experiment: under -exp all the prepare and distmem runs would
+		// otherwise silently overwrite each other's rows at one path.
+		jsonPath := ""
+		if *exp == name {
+			jsonPath = *jsonOut
+		}
 		switch name {
 		case "fig1":
 			r.Fig1(200)
@@ -86,26 +114,15 @@ func main() {
 		case "faults":
 			r.FaultInjection(8, *sweeps)
 		case "distmem":
-			r.DistMem(8, *sweeps, nil)
+			rows := r.DistMem(nil, *sweeps, nil)
+			writeBaseline(jsonPath, func(f *os.File) error { return bench.WriteDistMemJSON(f, rows) })
 		case "classic":
 			r.ClassicVsRandomized(8, *sweeps)
 		case "methods":
 			r.MethodTable(1e-6, 500, 0)
 		case "prepare":
 			rows := r.PreparedVsCold(*sweeps)
-			if *jsonOut != "" {
-				f, err := os.Create(*jsonOut)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "asybench: %v\n", err)
-					os.Exit(1)
-				}
-				if err := bench.WritePrepareJSON(f, rows); err != nil {
-					fmt.Fprintf(os.Stderr, "asybench: writing %s: %v\n", *jsonOut, err)
-					os.Exit(1)
-				}
-				f.Close()
-				fmt.Printf("prepare baseline written to %s\n", *jsonOut)
-			}
+			writeBaseline(jsonPath, func(f *os.File) error { return bench.WritePrepareJSON(f, rows) })
 		default:
 			fmt.Fprintf(os.Stderr, "asybench: unknown experiment %q\n", name)
 			os.Exit(2)

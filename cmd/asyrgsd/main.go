@@ -21,6 +21,16 @@
 //	  "method": "asyrgs", "tol": 1e-6, "max_sweeps": 2000
 //	}'
 //
+// The sharded distributed-memory backend serves the same way — its
+// deployment shape (workers, queue_cap) keys the prepared-system cache,
+// so warm solves of one shape skip partitioning and setup entirely:
+//
+//	curl -s localhost:8080/solve -d '{
+//	  "matrix": {"kind": "randomspd", "n": 4096, "seed": 1},
+//	  "method": "asyrgs-distmem", "workers": 8, "queue_cap": 4,
+//	  "tol": 1e-6, "max_sweeps": 2000
+//	}'
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
 // in-flight solves for up to -drain-timeout before exiting; a second
 // signal aborts immediately.

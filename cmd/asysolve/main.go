@@ -7,7 +7,7 @@
 //
 //	asysolve -A matrix.mtx [-b rhs.mtx] [-method name | -method list]
 //	         [-tol 1e-6] [-maxsweeps 1000] [-workers P] [-beta b] [-inner k]
-//	         [-timeout d] [-o solution.mtx] [-repeat k]
+//	         [-queue-cap c] [-timeout d] [-o solution.mtx] [-repeat k]
 //
 // When -b is omitted a random right-hand side with known solution is
 // generated, and the final A-norm error is reported alongside the
@@ -51,6 +51,7 @@ func main() {
 		beta       = flag.Float64("beta", 0, "step size β in (0,2); 0 = method default")
 		inner      = flag.Int("inner", 2, "preconditioner sweeps for fcg")
 		checkEvery = flag.Int("check", 5, "sweeps between residual checks")
+		queueCap   = flag.Int("queue-cap", 0, "per-peer message-queue budget of the sharded asyrgs-distmem backend (0 = default 4)")
 		timeout    = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		outPath    = flag.String("o", "", "write the solution as an n×1 MatrixMarket file")
 		seed       = flag.Uint64("seed", 1, "seed for directions and generated RHS")
@@ -116,7 +117,7 @@ func main() {
 	opts := method.Opts{
 		Tol: *tol, MaxSweeps: *maxSweeps, Workers: *workers,
 		Beta: *beta, Seed: *seed, Inner: *inner, CheckEvery: *checkEvery,
-		XStar: xstar, MeasureDelay: true,
+		QueueCap: *queueCap, XStar: xstar, MeasureDelay: true,
 	}
 
 	// Phase 1: capture the per-matrix state once.
@@ -150,6 +151,9 @@ func main() {
 	fmt.Printf("sweeps=%d iterations=%d", res.Sweeps, res.Iterations)
 	if res.ObservedTau > 0 {
 		fmt.Printf(" observed-tau=%d", res.ObservedTau)
+	}
+	if res.Messages > 0 {
+		fmt.Printf(" messages=%d max-queue=%d", res.Messages, res.MaxQueue)
 	}
 	fmt.Println()
 	fmt.Printf("method=%s time=%v relative-residual=%.3e converged=%v\n",

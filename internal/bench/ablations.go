@@ -2,12 +2,13 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
 	"runtime"
 	"time"
 
 	"github.com/asynclinalg/asyrgs/internal/core"
-	"github.com/asynclinalg/asyrgs/internal/distmem"
 	"github.com/asynclinalg/asyrgs/internal/method"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/stats"
@@ -189,24 +190,28 @@ func spin(iters int) {
 	}
 }
 
-// DistRow is one row of the distributed-memory emulation experiment.
+// DistRow is one row of the sharded distributed-memory experiment: one
+// (worker count, queue capacity) deployment shape at fixed work.
 type DistRow struct {
-	QueueCap int
-	Residual float64
-	Messages uint64
-	MaxQueue int
-	Time     time.Duration
+	Workers  int     `json:"workers"`
+	QueueCap int     `json:"queue_cap"`
+	Sweeps   int     `json:"sweeps"`
+	Residual float64 `json:"residual"`
+	Messages uint64  `json:"messages"`
+	MaxQueue int     `json:"max_queue"`
+	TimeMS   float64 `json:"time_ms"`
 }
 
-// DistMem runs the message-passing emulation (internal/distmem) of the
-// restricted-randomization solver across communication-buffer capacities,
-// the knob that physically realises the delay bound τ in a distributed
-// deployment — the paper's "extend to massively parallel systems" future
-// work, made measurable.
-func (r *Runner) DistMem(workers, sweeps int, caps []int) []DistRow {
+// DistMem sweeps the sharded backend (asyrgs-distmem, dispatched through
+// the registry) over worker counts and communication-buffer capacities —
+// the knobs that physically realise the delay bound τ in a distributed
+// deployment, the paper's "extend to massively parallel systems" future
+// work made measurable. Residual, message traffic, worst inbox backlog
+// and wall time come from the registry's normalized Result.
+func (r *Runner) DistMem(workers []int, sweeps int, caps []int) []DistRow {
 	r.Prepare()
-	if workers <= 0 {
-		workers = 8
+	if len(workers) == 0 {
+		workers = []int{2, 4, 8}
 	}
 	if sweeps <= 0 {
 		sweeps = r.Cfg.Sweeps
@@ -214,25 +219,33 @@ func (r *Runner) DistMem(workers, sweeps int, caps []int) []DistRow {
 	if len(caps) == 0 {
 		caps = []int{1, 4, 16, 64}
 	}
-	rows := make([]DistRow, 0, len(caps))
-	r.printf("\n== Distributed-memory emulation (%d ranks, %d sweeps) ==\n", workers, sweeps)
-	r.printf("%-10s %-14s %-12s %-10s %-10s\n", "queue-cap", "rel residual", "messages", "max-queue", "time")
-	for _, c := range caps {
-		x := make([]float64, r.Gram.Rows)
-		var res distmem.Result
-		var err error
-		d := timeIt(func() {
-			res, err = distmem.Solve(r.Gram, x, r.b1, sweeps, distmem.Config{
-				Workers: workers, QueueCap: c, Seed: r.Cfg.Seed,
+	rows := make([]DistRow, 0, len(workers)*len(caps))
+	r.printf("\n== Sharded distributed-memory backend (asyrgs-distmem, %d sweeps) ==\n", sweeps)
+	r.printf("%-8s %-10s %-14s %-12s %-10s %-10s\n", "ranks", "queue-cap", "rel residual", "messages", "max-queue", "time")
+	for _, w := range workers {
+		for _, c := range caps {
+			res := runRegistry("asyrgs-distmem", r.Gram, r.b1, method.Opts{
+				MaxSweeps: sweeps, CheckEvery: sweeps,
+				Workers: w, QueueCap: c, Seed: r.Cfg.Seed,
 			})
-		})
-		if err != nil {
-			panic(err)
+			rows = append(rows, DistRow{
+				Workers: w, QueueCap: c, Sweeps: res.Sweeps,
+				Residual: res.Residual, Messages: res.Messages,
+				MaxQueue: res.MaxQueue, TimeMS: ms(res.Wall),
+			})
+			r.printf("%-8d %-10d %-14.6e %-12d %-10d %-10v\n",
+				w, c, res.Residual, res.Messages, res.MaxQueue, res.Wall.Round(time.Microsecond))
 		}
-		rows = append(rows, DistRow{QueueCap: c, Residual: res.Residual, Messages: res.MessagesSent, MaxQueue: res.MaxQueueLen, Time: d})
-		r.printf("%-10d %-14.6e %-12d %-10d %-10v\n", c, res.Residual, res.MessagesSent, res.MaxQueueLen, d.Round(time.Microsecond))
 	}
 	return rows
+}
+
+// WriteDistMemJSON writes the sharded-backend rows as an indented JSON
+// baseline (the CI artifact BENCH_distmem.json).
+func WriteDistMemJSON(w io.Writer, rows []DistRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 // ClassicRow compares classical asynchronous Jacobi against AsyRGS.

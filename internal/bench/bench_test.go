@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
-
-	"github.com/asynclinalg/asyrgs/internal/race"
 	"strings"
 	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/race"
 )
 
 // tinyConfig keeps the integration tests fast while still exercising every
@@ -289,17 +291,31 @@ func TestFaultInjectionRows(t *testing.T) {
 
 func TestDistMemRows(t *testing.T) {
 	r := NewRunner(tinyConfig())
-	rows := r.DistMem(4, 4, []int{1, 16})
-	if len(rows) != 2 {
-		t.Fatalf("want 2 rows, got %d", len(rows))
+	rows := r.DistMem([]int{2, 4}, 4, []int{1, 16})
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows (2 worker counts x 2 caps), got %d", len(rows))
 	}
 	for _, row := range rows {
 		if row.Residual <= 0 || row.Residual >= 1 {
-			t.Fatalf("no progress at queue cap %d: %v", row.QueueCap, row.Residual)
+			t.Fatalf("no progress at w=%d cap=%d: %v", row.Workers, row.QueueCap, row.Residual)
 		}
 		if row.Messages == 0 {
-			t.Fatalf("no communication at cap %d", row.QueueCap)
+			t.Fatalf("no communication at w=%d cap=%d", row.Workers, row.QueueCap)
 		}
+		if row.Sweeps != 4 {
+			t.Fatalf("fixed-work row ran %d sweeps", row.Sweeps)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteDistMemJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []DistRow
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("baseline not valid JSON: %v", err)
+	}
+	if len(decoded) != len(rows) || decoded[0].Workers != 2 {
+		t.Fatalf("baseline round-trip mismatch: %+v", decoded)
 	}
 }
 

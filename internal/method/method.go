@@ -82,6 +82,12 @@ type Opts struct {
 	// zero means 2 (the paper's fastest Table 1 configuration).
 	Inner int
 
+	// QueueCap is the per-peer message-queue budget of the sharded
+	// distributed-memory backend (asyrgs-distmem): each rank's inbox holds
+	// QueueCap·(workers−1)+1 updates, the physical realisation of the
+	// delay bound τ. Zero means 4. Shared-memory methods ignore it.
+	QueueCap int
+
 	// CheckEvery is the number of sweeps between residual evaluations and
 	// context-cancellation checks; zero means 1 (16 for the stationary
 	// methods, whose per-chunk setup cost is higher and which stop early
@@ -124,6 +130,12 @@ type Result struct {
 	// ObservedTau is the measured asynchrony bound τ̂ (0 for synchronous
 	// methods).
 	ObservedTau int
+	// Messages counts updates shipped across the emulated network by the
+	// sharded distributed-memory backend; zero for shared-memory methods.
+	Messages uint64
+	// MaxQueue is the largest message backlog the sharded backend observed
+	// on any rank's inbox at a send; zero for shared-memory methods.
+	MaxQueue int
 	// ANormErr is the relative A-norm error ‖x−x*‖_A/‖x*‖_A when
 	// Opts.XStar was supplied; NaN otherwise.
 	ANormErr float64

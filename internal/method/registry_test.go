@@ -10,9 +10,9 @@ import (
 
 // The full built-in roster every driver may rely on.
 var wantBuiltins = []string{
-	"asyncjacobi", "asyrgs", "asyrgs-nonatomic", "asyrgs-partitioned",
-	"asyrgs-weighted", "cg", "fcg", "gs", "jacobi", "kaczmarz",
-	"lsqcd", "lsqcd-async", "rgs",
+	"asyncjacobi", "asyrgs", "asyrgs-distmem", "asyrgs-nonatomic",
+	"asyrgs-partitioned", "asyrgs-weighted", "cg", "fcg", "gs", "jacobi",
+	"kaczmarz", "lsqcd", "lsqcd-async", "rgs",
 }
 
 func TestBuiltinsRegistered(t *testing.T) {

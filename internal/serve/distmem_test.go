@@ -1,0 +1,86 @@
+// Serving-layer coverage for the sharded distributed-memory backend:
+// asyrgs-distmem must serve through the daemon with prepared-state cache
+// hits on warm solves, report its communication accounting over the
+// wire, and keep differently-sharded deployments in separate prep-cache
+// entries.
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestDistmemServesWithPrepCacheHits(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := SolveRequest{
+		Matrix: MatrixSpec{Kind: "randomspd", N: 150, NNZ: 5, Seed: 4},
+		Method: "asyrgs-distmem", Tol: 1e-6, MaxSweeps: 2000,
+		Workers: 4, QueueCap: 2, CheckEvery: 5,
+	}
+	cold, resp := postSolve(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !cold.Converged || cold.Residual > 1e-6 {
+		t.Fatalf("did not converge: %+v", cold)
+	}
+	if cold.PrepHit {
+		t.Fatal("first request must miss the prepared-system cache")
+	}
+	if cold.Messages == 0 || cold.MaxQueue == 0 {
+		t.Fatalf("sharded solve must report traffic and backlog: %+v", cold)
+	}
+
+	// Warm solve: same deployment shape, fresh right-hand side — the
+	// prepared partition/diagonal/streams are reused (prep_hit).
+	warmReq := req
+	warmReq.RHSSeed = 99
+	warm, _ := postSolve(t, ts, warmReq)
+	if !warm.CacheHit || !warm.PrepHit {
+		t.Fatalf("warm solve must hit both caches: %+v", warm)
+	}
+
+	// A different deployment shape over the same matrix must not share
+	// prepared state: the PrepKey separates it.
+	resharded := req
+	resharded.Workers = 2
+	out, _ := postSolve(t, ts, resharded)
+	if out.PrepHit {
+		t.Fatal("a different worker count must re-prepare (new partition)")
+	}
+
+	var stats Stats
+	getJSON(t, ts, "/stats", &stats)
+	if stats.PrepCache.Hits == 0 {
+		t.Fatalf("prep_hit counter did not increment: %+v", stats.PrepCache)
+	}
+	if stats.PerMethod["asyrgs-distmem"] != 3 {
+		t.Fatalf("per-method counter: %v", stats.PerMethod)
+	}
+}
+
+func TestDistmemExplicitBatchOverOnePool(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	n := 64
+	bs := make([][]float64, 3)
+	for j := range bs {
+		bs[j] = make([]float64, n)
+		for i := range bs[j] {
+			bs[j][i] = float64((i+j)%7) - 3
+		}
+	}
+	out, resp := postSolve(t, ts, SolveRequest{
+		Matrix: MatrixSpec{Kind: "laplacian2d", N: 8},
+		Method: "asyrgs-distmem", Tol: 1e-8, MaxSweeps: 5000,
+		Workers: 2, CheckEvery: 10, Bs: bs,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Batch) != 3 || out.BatchSize != 3 {
+		t.Fatalf("batch shape: %+v", out)
+	}
+	if !out.Converged {
+		t.Fatalf("batch did not converge: %+v", out)
+	}
+}

@@ -204,6 +204,10 @@ type SolveRequest struct {
 	Seed       uint64  `json:"seed,omitempty"`
 	Inner      int     `json:"inner,omitempty"`
 	CheckEvery int     `json:"check_every,omitempty"`
+	// QueueCap is the per-peer message-queue budget of the sharded
+	// distributed-memory backend (asyrgs-distmem); other methods ignore
+	// it.
+	QueueCap int `json:"queue_cap,omitempty"`
 	// FixedWork runs the bench-style fixed-sweep mode: the solver spends
 	// the whole MaxSweeps budget with no convergence target (tol is
 	// ignored). Without it, a missing or non-positive tol defaults to
@@ -232,9 +236,9 @@ func (r SolveRequest) prepKey(matrixKey string) string {
 // batched solve. The right-hand side is deliberately absent — it is the
 // per-item payload.
 func (r SolveRequest) batchKey(matrixKey string) string {
-	return fmt.Sprintf("%s|t%g|m%d|w%d|b%g|s%d|i%d|c%d|f%v|d%v",
+	return fmt.Sprintf("%s|t%g|m%d|w%d|b%g|s%d|i%d|c%d|q%d|f%v|d%v",
 		r.prepKey(matrixKey), r.Tol, r.MaxSweeps, r.Workers, r.Beta, r.Seed, r.Inner,
-		r.CheckEvery, r.FixedWork, r.MeasureDelay)
+		r.CheckEvery, r.QueueCap, r.FixedWork, r.MeasureDelay)
 }
 
 // opts maps the request knobs onto method.Opts. FixedWork zeroes the
@@ -247,7 +251,8 @@ func (r SolveRequest) opts() method.Opts {
 	return method.Opts{
 		Tol: tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers,
 		Beta: r.Beta, Seed: r.Seed, Inner: r.Inner,
-		CheckEvery: r.CheckEvery, MeasureDelay: r.MeasureDelay,
+		CheckEvery: r.CheckEvery, QueueCap: r.QueueCap,
+		MeasureDelay: r.MeasureDelay,
 	}
 }
 
@@ -271,17 +276,21 @@ type SolveResponse struct {
 	// BatchSize is the number of right-hand sides solved together in the
 	// batch this request was part of (explicit bs entries, or coalesced
 	// concurrent requests; 1 when the solve ran alone).
-	BatchSize   int       `json:"batch_size,omitempty"`
-	Rows        int       `json:"rows"`
-	Cols        int       `json:"cols"`
-	Residual    float64   `json:"residual"`
-	Converged   bool      `json:"converged"`
-	Sweeps      int       `json:"sweeps"`
-	Iterations  uint64    `json:"iterations"`
-	WallMS      float64   `json:"wall_ms"`
-	ObservedTau int       `json:"observed_tau"`
-	ANormErr    *float64  `json:"a_norm_err,omitempty"`
-	X           []float64 `json:"x,omitempty"`
+	BatchSize   int     `json:"batch_size,omitempty"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	Residual    float64 `json:"residual"`
+	Converged   bool    `json:"converged"`
+	Sweeps      int     `json:"sweeps"`
+	Iterations  uint64  `json:"iterations"`
+	WallMS      float64 `json:"wall_ms"`
+	ObservedTau int     `json:"observed_tau"`
+	// Messages and MaxQueue report the sharded backend's network traffic
+	// and worst inbox backlog; zero (omitted) for shared-memory methods.
+	Messages uint64    `json:"messages,omitempty"`
+	MaxQueue int       `json:"max_queue,omitempty"`
+	ANormErr *float64  `json:"a_norm_err,omitempty"`
+	X        []float64 `json:"x,omitempty"`
 	// Batch holds the per-RHS outcomes of an explicit bs request; the
 	// top-level Residual/Converged then summarize the worst column.
 	Batch []BatchEntry `json:"batch,omitempty"`
@@ -724,6 +733,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Residual: it.res.Residual, Converged: it.res.Converged,
 		Sweeps: it.res.Sweeps, Iterations: it.res.Iterations,
 		WallMS: float64(it.res.Wall) / float64(time.Millisecond), ObservedTau: it.res.ObservedTau,
+		Messages: it.res.Messages, MaxQueue: it.res.MaxQueue,
 	}
 	if xstar != nil && a.Rows == a.Cols {
 		if nx := a.ANorm(xstar); nx > 0 {
