@@ -13,9 +13,13 @@
 // (cold Prepare+Solve vs warm Solve over a cached PreparedSystem); the
 // distmem experiment sweeps the sharded distributed-memory backend
 // (asyrgs-distmem, dispatched through the registry) over worker counts
-// and queue capacities. With -json either experiment also writes its
-// rows as a machine-readable baseline — the BENCH_prepare.json and
-// BENCH_distmem.json artifacts CI regenerates on every PR.
+// and queue capacities; the serve experiment drives every closed-loop
+// load scenario of internal/load against an in-process server and
+// reports per-scenario latency percentiles. With -json any of them also
+// writes its rows as a machine-readable baseline — the
+// BENCH_prepare.json and BENCH_distmem.json artifacts CI regenerates on
+// every PR (the richer single-scenario BENCH_serve.json comes from
+// cmd/asyload).
 package main
 
 import (
@@ -48,7 +52,7 @@ func writeBaseline(path string, write func(*os.File) error) {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho|delays|sampling|faults|distmem|classic|methods|prepare")
+		exp     = flag.String("exp", "all", "experiment: all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho|delays|sampling|faults|distmem|classic|methods|prepare|serve")
 		jsonOut = flag.String("json", "", "write the prepare/distmem experiment's rows as a JSON baseline to this file")
 		terms   = flag.Int("n", 1500, "Gram matrix dimension (paper: 120147)")
 		rhs     = flag.Int("rhs", 16, "right-hand sides solved together (paper: 51)")
@@ -123,13 +127,16 @@ func main() {
 		case "prepare":
 			rows := r.PreparedVsCold(*sweeps)
 			writeBaseline(jsonPath, func(f *os.File) error { return bench.WritePrepareJSON(f, rows) })
+		case "serve":
+			rows := r.ServeLoad(4, 0)
+			writeBaseline(jsonPath, func(f *os.File) error { return bench.WriteServeLoadJSON(f, rows) })
 		default:
 			fmt.Fprintf(os.Stderr, "asybench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"rho", "fig1", "fig2", "table1", "fig3", "theory", "beta", "sync", "lsq", "delays", "sampling", "faults", "distmem", "classic", "methods", "prepare"} {
+		for _, name := range []string{"rho", "fig1", "fig2", "table1", "fig3", "theory", "beta", "sync", "lsq", "delays", "sampling", "faults", "distmem", "classic", "methods", "prepare", "serve"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,107 @@
+// Command asyload is the closed-loop load generator for the asyrgsd
+// serving daemon: N concurrent clients drive one of the reusable traffic
+// scenarios (see -scenario list) against a target daemon — or against a
+// self-hosted in-process server when no target is given — and report
+// throughput, interpolated p50/p95/p99 latency, error and cache-hit
+// rates, plus the delta of the server's own /stats counters.
+//
+// Usage:
+//
+//	asyload [-target http://host:8080] [-scenario mixed] [-clients 8]
+//	        [-duration 10s] [-requests 0] [-n 96] [-seed 1]
+//	        [-json] [-out BENCH_serve.json]
+//	        [-max-concurrent P] [-batch-window 2ms] [-cache 16]
+//
+// With -target empty the generator self-hosts a serve.Server behind a
+// direct handler transport (no sockets) sized by the -max-concurrent,
+// -batch-window and -cache knobs — the hermetic mode CI uses to
+// regenerate the BENCH_serve.json baseline. -scenario list prints the
+// catalogue. -json writes the report to -out (default BENCH_serve.json).
+//
+// Examples:
+//
+//	asyload -scenario warm-repeat -clients 8 -duration 5s
+//	asyload -target http://localhost:8080 -scenario mixed -clients 8 -duration 2s -json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/load"
+	"github.com/asynclinalg/asyrgs/internal/serve"
+)
+
+func main() {
+	var (
+		targetURL   = flag.String("target", "", "daemon base URL; empty self-hosts an in-process server")
+		scenario    = flag.String("scenario", "mixed", "traffic scenario, or 'list' for the catalogue")
+		clients     = flag.Int("clients", 8, "concurrent closed-loop clients")
+		duration    = flag.Duration("duration", 10*time.Second, "run length (in-flight requests complete)")
+		requests    = flag.Int("requests", 0, "total request budget (0 = duration-bounded)")
+		n           = flag.Int("n", 96, "base problem dimension the scenarios scale from")
+		seed        = flag.Uint64("seed", 1, "request-stream seed")
+		jsonOut     = flag.Bool("json", false, "write the report as a JSON baseline")
+		outPath     = flag.String("out", "BENCH_serve.json", "baseline path used with -json")
+		maxConc     = flag.Int("max-concurrent", 0, "self-hosted: max in-flight solve batches (0 = GOMAXPROCS)")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "self-hosted: coalescing window")
+		cacheSize   = flag.Int("cache", 16, "self-hosted: built-matrix LRU capacity")
+	)
+	flag.Parse()
+
+	if *scenario == "list" {
+		for _, s := range load.Scenarios() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	var target *load.Target
+	if *targetURL == "" {
+		fmt.Println("asyload: no -target, self-hosting an in-process server")
+		target = load.NewInProcessTarget(serve.Config{
+			MaxConcurrent: *maxConc,
+			BatchWindow:   *batchWindow,
+			CacheSize:     *cacheSize,
+		})
+	} else {
+		target = load.NewHTTPTarget(*targetURL)
+	}
+	defer target.Close()
+
+	rep, err := load.Run(context.Background(), target, load.Options{
+		Scenario:    *scenario,
+		Clients:     *clients,
+		Duration:    *duration,
+		MaxRequests: *requests,
+		Seed:        *seed,
+		N:           *n,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asyload: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.String())
+
+	if *jsonOut {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asyload: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "asyload: writing %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("baseline written to %s\n", *outPath)
+	}
+
+	if rep.Requests == 0 {
+		fmt.Fprintln(os.Stderr, "asyload: no requests completed")
+		os.Exit(1)
+	}
+}

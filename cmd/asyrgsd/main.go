@@ -12,7 +12,11 @@
 //	        [-batch-window 2ms] [-queue-timeout 5s] [-solve-timeout 60s]
 //	        [-max-dim 1048576] [-drain-timeout 10s]
 //
-// Endpoints: POST /solve, GET /methods, GET /healthz, GET /stats.
+// Endpoints: POST /solve, GET /methods, GET /healthz, GET /stats (JSON
+// counters plus per-endpoint/per-method latency summaries), GET /metrics
+// (the same counters and raw latency histograms in Prometheus text
+// format, ready to scrape). cmd/asyload drives a daemon with sustained
+// closed-loop traffic scenarios and reports the client-side view.
 //
 // Example:
 //

@@ -4,6 +4,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -13,6 +14,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/load"
 )
 
 // buildTool compiles ./cmd/<name> into dir and returns the binary path.
@@ -160,6 +163,95 @@ func TestAsyrgsdEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(stats), `"solved":1`) {
 		t.Fatalf("stats did not count the solve: %s", stats)
+	}
+}
+
+// TestAsyloadAgainstDaemon boots the real daemon binary and drives it
+// with the real load-generator binary: a short warm-repeat run must
+// produce a parseable BENCH_serve.json with nonzero throughput and
+// latency percentiles, and the daemon's /metrics endpoint must expose
+// the matching Prometheus histograms.
+func TestAsyloadAgainstDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	asyrgsd := buildTool(t, dir, "asyrgsd")
+	asyload := buildTool(t, dir, "asyload")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	cmd := exec.Command(asyrgsd, "-addr", addr)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	base := "http://" + addr
+	var ready bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			ready = resp.StatusCode == http.StatusOK
+			if ready {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("daemon did not become healthy")
+	}
+
+	report := filepath.Join(dir, "BENCH_serve.json")
+	out := run(t, asyload, "-target", base, "-scenario", "warm-repeat",
+		"-clients", "4", "-duration", "2s", "-n", "64", "-json", "-out", report)
+	if !strings.Contains(out, "baseline written") {
+		t.Fatalf("asyload did not write its baseline:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_serve.json does not parse: %v\n%s", err, raw)
+	}
+	if rep.Scenario != "warm-repeat" || rep.Requests == 0 || rep.ThroughputRPS <= 0 {
+		t.Fatalf("report lacks traffic: %+v", rep)
+	}
+	if rep.P99US <= 0 || rep.P50US <= 0 || rep.P95US < rep.P50US {
+		t.Fatalf("latency percentiles malformed: %+v", rep)
+	}
+	if rep.Server == nil || rep.Server.Requests != rep.Requests {
+		t.Fatalf("server delta inconsistent with the run: %+v", rep)
+	}
+	if rep.PrepHitRate == 0 {
+		t.Fatalf("warm-repeat traffic never hit the prep cache: %+v", rep)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(metrics)
+	for _, want := range []string{
+		"asyrgsd_requests_total",
+		`asyrgsd_request_duration_seconds_bucket{endpoint="/solve"`,
+		`asyrgsd_method_duration_seconds_count{method="asyrgs"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
 	}
 }
 

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/load"
+	"github.com/asynclinalg/asyrgs/internal/serve"
+)
+
+// ServeLoadRow is one scenario's closed-loop serving measurement: the
+// latency distribution and hit rates of a fixed request budget driven
+// against a fresh in-process server.
+type ServeLoadRow struct {
+	Scenario      string  `json:"scenario"`
+	Clients       int     `json:"clients"`
+	Requests      uint64  `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	ErrorRate     float64 `json:"error_rate"`
+	PrepHitRate   float64 `json:"prep_hit_rate"`
+	CoalescedRHS  uint64  `json:"coalesced_rhs"`
+	Cancelled     uint64  `json:"cancelled"`
+}
+
+// ServeLoad runs every traffic scenario of the load subsystem against a
+// fresh in-process serve.Server and reports one row per scenario — the
+// serving-layer analogue of the solver ablation tables: instead of
+// residual-vs-threads, request-latency-vs-traffic-shape. perScenario
+// is the request budget per scenario; <= 0 means 48.
+func (r *Runner) ServeLoad(clients, perScenario int) []ServeLoadRow {
+	if clients <= 0 {
+		clients = 4
+	}
+	if perScenario <= 0 {
+		perScenario = 48
+	}
+	r.printf("\n== Serving under load: closed-loop scenarios, %d clients x %d requests ==\n", clients, perScenario)
+	r.printf("%-12s %-10s %-10s %-10s %-10s %-8s %-8s\n",
+		"scenario", "req/s", "p50ms", "p99ms", "errors", "prep%", "coalesced")
+	var rows []ServeLoadRow
+	for _, sc := range load.Scenarios() {
+		target := load.NewInProcessTarget(serve.Config{BatchWindow: 2 * time.Millisecond})
+		rep, err := load.Run(context.Background(), target, load.Options{
+			Scenario:    sc.Name,
+			Clients:     clients,
+			MaxRequests: perScenario,
+			Duration:    2 * time.Minute,
+			Seed:        r.Cfg.Seed,
+			N:           96,
+		})
+		target.Close()
+		if err != nil {
+			panic(err)
+		}
+		row := ServeLoadRow{
+			Scenario: sc.Name, Clients: clients, Requests: rep.Requests,
+			ThroughputRPS: rep.ThroughputRPS,
+			P50MS:         rep.P50US / 1e3, P95MS: rep.P95US / 1e3, P99MS: rep.P99US / 1e3,
+			ErrorRate: rep.ErrorRate, PrepHitRate: rep.PrepHitRate,
+			CoalescedRHS: rep.CoalescedRequests, Cancelled: rep.Cancelled,
+		}
+		rows = append(rows, row)
+		r.printf("%-12s %-10.1f %-10.3f %-10.3f %-10.3f %-8.0f %-8d\n",
+			row.Scenario, row.ThroughputRPS, row.P50MS, row.P99MS, row.ErrorRate,
+			100*row.PrepHitRate, row.CoalescedRHS)
+	}
+	return rows
+}
+
+// WriteServeLoadJSON writes the serve-load rows as an indented JSON
+// baseline (the asybench -exp serve artifact; cmd/asyload writes the
+// richer single-scenario BENCH_serve.json report).
+func WriteServeLoadJSON(w io.Writer, rows []ServeLoadRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

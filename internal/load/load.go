@@ -1,0 +1,416 @@
+// Package load is the closed-loop load-generation subsystem for the
+// asyrgsd serving layer: reusable traffic scenarios (cold-matrix churn,
+// warm repeat-solves, coalescing batch bursts, sharded distmem solves,
+// mid-flight cancellations, and a zipfian mixed-method workload) driven
+// by N concurrent closed-loop clients against a serve.Server — in
+// process through a direct-handler transport, or over the network
+// against any base URL. Every request's latency lands in a
+// stats.AtomicPow2Histogram; the Report carries throughput, interpolated
+// p50/p95/p99, error and cache-hit rates, and a before/after delta of
+// the server's own counters so harnesses can assert end-to-end
+// invariants (no request lost, coalescing accounting exact, warm
+// traffic hitting the prep cache).
+//
+// cmd/asyload is the CLI face; the soak suite in this package runs every
+// scenario race-clean in seconds and is CI's load-smoke gate.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
+	"github.com/asynclinalg/asyrgs/internal/serve"
+	"github.com/asynclinalg/asyrgs/internal/stats"
+)
+
+// Options configure one load run. The zero value is usable: it runs the
+// mixed scenario with 4 clients for 5 seconds against small systems.
+type Options struct {
+	// Scenario is a catalogue name; see Scenarios.
+	Scenario string
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// Duration bounds the run's wall time; a client issues no new request
+	// after it elapses (in-flight requests complete). Zero means 5s.
+	Duration time.Duration
+	// MaxRequests bounds the total requests issued across all clients;
+	// zero means unbounded (Duration governs). With both set, whichever
+	// limit is reached first stops the run — a fixed request budget makes
+	// soak runs deterministic in size.
+	MaxRequests int
+	// Seed keys every client's request stream.
+	Seed uint64
+	// N is the base problem dimension the scenarios scale from; zero
+	// means 96.
+	N int
+	// RequestTimeout caps one request's wall time so a wedged server
+	// cannot hang the driver; zero means 30s.
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scenario == "" {
+		o.Scenario = "mixed"
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.N <= 0 {
+		o.N = 96
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Target is the server under load: a base URL plus the client to reach
+// it with.
+type Target struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// Close releases the target's idle connections (a no-op for the
+// in-process transport, which holds none).
+func (t *Target) Close() { t.Client.CloseIdleConnections() }
+
+// NewHTTPTarget points the driver at an already-running daemon.
+func NewHTTPTarget(baseURL string) *Target {
+	return &Target{BaseURL: baseURL, Client: &http.Client{}}
+}
+
+// handlerTransport dispatches requests straight into an http.Handler on
+// the caller's goroutine — no sockets, no listener, fully deterministic
+// scheduling for the in-process soak harness. Request contexts propagate
+// into the handler unchanged, so client-side cancellation reaches the
+// solve exactly as it does over a dropped connection.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// NewInProcessTarget self-hosts a fresh serve.Server behind a direct
+// handler transport.
+func NewInProcessTarget(cfg serve.Config) *Target {
+	srv := serve.New(cfg)
+	return &Target{
+		BaseURL: "http://asyrgsd.inprocess",
+		Client:  &http.Client{Transport: handlerTransport{h: srv.Handler()}},
+	}
+}
+
+// Request is one unit of scenario traffic: the solve body plus an
+// optional client-side cancellation deadline (the mid-flight abandon of
+// the cancel scenario).
+type Request struct {
+	Solve       serve.SolveRequest
+	CancelAfter time.Duration
+}
+
+// Report is the outcome of one load run — the BENCH_serve.json shape.
+type Report struct {
+	Scenario    string  `json:"scenario"`
+	Clients     int     `json:"clients"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// Outcome counts; Requests is their sum — every issued request is
+	// accounted exactly once.
+	Requests  uint64 `json:"requests"`
+	OK        uint64 `json:"ok"`
+	Errors    uint64 `json:"errors"`
+	Rejected  uint64 `json:"rejected"`
+	Cancelled uint64 `json:"cancelled"`
+
+	// Converged counts OK responses that reached their tolerance.
+	Converged uint64 `json:"converged"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50US         float64 `json:"p50_us"`
+	P95US         float64 `json:"p95_us"`
+	P99US         float64 `json:"p99_us"`
+	MeanUS        float64 `json:"mean_us"`
+	ErrorRate     float64 `json:"error_rate"`
+
+	// Hit rates over OK responses, as the server reported them.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	PrepHitRate  float64 `json:"prep_hit_rate"`
+
+	// CoalescedRequests counts right-hand sides served in shared batches
+	// using the server's own accounting unit (each member of a coalesced
+	// batch, each column of an explicit multi-RHS batch), so on a quiet
+	// server it equals the coalesced_requests delta in Server.
+	CoalescedRequests uint64 `json:"coalesced_requests"`
+
+	// LatencyHistUS is the raw power-of-two latency histogram (µs):
+	// bucket 0 = 0, bucket k = [2^(k-1), 2^k).
+	LatencyHistUS []uint64 `json:"latency_hist_us"`
+
+	// Server is the delta of the daemon's /stats counters across the run,
+	// when the target exposes them.
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// ServerDelta is the change in the daemon's own counters across a run.
+type ServerDelta struct {
+	Requests          uint64 `json:"requests"`
+	Solved            uint64 `json:"solved"`
+	Errors            uint64 `json:"errors"`
+	Rejected          uint64 `json:"rejected"`
+	Batches           uint64 `json:"batches"`
+	CoalescedRequests uint64 `json:"coalesced_requests"`
+	CacheHits         uint64 `json:"cache_hits"`
+	CacheMisses       uint64 `json:"cache_misses"`
+	PrepHits          uint64 `json:"prep_hits"`
+	PrepMisses        uint64 `json:"prep_misses"`
+}
+
+// WriteJSON writes the report as an indented JSON baseline (the CI
+// artifact BENCH_serve.json).
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the human-facing summary.
+func (r Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "scenario %s: %d clients, %.2fs\n", r.Scenario, r.Clients, r.DurationSec)
+	fmt.Fprintf(&b, "  requests    %d (%.1f req/s)  ok %d  errors %d  rejected %d  cancelled %d\n",
+		r.Requests, r.ThroughputRPS, r.OK, r.Errors, r.Rejected, r.Cancelled)
+	fmt.Fprintf(&b, "  latency     p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms\n",
+		r.P50US/1e3, r.P95US/1e3, r.P99US/1e3, r.MeanUS/1e3)
+	fmt.Fprintf(&b, "  hit rates   matrix %.0f%%  prepared %.0f%%  coalesced RHS %d  converged %d/%d\n",
+		100*r.CacheHitRate, 100*r.PrepHitRate, r.CoalescedRequests, r.Converged, r.OK)
+	if r.Server != nil {
+		fmt.Fprintf(&b, "  server      requests %d  solved %d  batches %d  coalesced %d  prep hit/miss %d/%d\n",
+			r.Server.Requests, r.Server.Solved, r.Server.Batches, r.Server.CoalescedRequests,
+			r.Server.PrepHits, r.Server.PrepMisses)
+	}
+	return b.String()
+}
+
+// counters aggregate client outcomes; all atomic so the closed loops
+// never serialize on bookkeeping.
+type counters struct {
+	issued    atomic.Uint64
+	ok        atomic.Uint64
+	errs      atomic.Uint64
+	rejected  atomic.Uint64
+	cancelled atomic.Uint64
+	converged atomic.Uint64
+	cacheHits atomic.Uint64
+	prepHits  atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// Run drives the scenario against the target and reports. It returns an
+// error only for unusable inputs (unknown scenario); request failures
+// are counted, not returned — a load generator's job is to keep going.
+func Run(ctx context.Context, target *Target, opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	scen, err := Lookup(opts.Scenario)
+	if err != nil {
+		return Report{}, err
+	}
+
+	before, haveBefore := fetchStats(target, opts.RequestTimeout)
+
+	var (
+		cnt  counters
+		hist stats.AtomicPow2Histogram
+	)
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := rng.NewSequential(opts.Seed + uint64(c)*0x9e3779b97f4a7c15)
+			for i := 0; ; i++ {
+				if ctx.Err() != nil || time.Now().After(deadline) {
+					return
+				}
+				if opts.MaxRequests > 0 {
+					if cnt.issued.Add(1) > uint64(opts.MaxRequests) {
+						cnt.issued.Add(^uint64(0)) // undo: budget spent, not issued
+						return
+					}
+				} else {
+					cnt.issued.Add(1)
+				}
+				req := scen.Next(opts, g, c, i)
+				issue(ctx, target, opts, req, &cnt, &hist)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Scenario: opts.Scenario, Clients: opts.Clients, DurationSec: elapsed.Seconds(),
+		Requests:  cnt.issued.Load(),
+		OK:        cnt.ok.Load(),
+		Errors:    cnt.errs.Load(),
+		Rejected:  cnt.rejected.Load(),
+		Cancelled: cnt.cancelled.Load(),
+		Converged: cnt.converged.Load(),
+
+		CoalescedRequests: cnt.coalesced.Load(),
+	}
+	snap := hist.Snapshot()
+	rep.LatencyHistUS = snap.Counts
+	rep.P50US = snap.Quantile(0.50)
+	rep.P95US = snap.Quantile(0.95)
+	rep.P99US = snap.Quantile(0.99)
+	if n := snap.Total(); n > 0 {
+		rep.MeanUS = float64(hist.Sum()) / float64(n)
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	if rep.OK > 0 {
+		rep.CacheHitRate = float64(cnt.cacheHits.Load()) / float64(rep.OK)
+		rep.PrepHitRate = float64(cnt.prepHits.Load()) / float64(rep.OK)
+	}
+	if after, ok := fetchStats(target, opts.RequestTimeout); haveBefore && ok {
+		rep.Server = &ServerDelta{
+			Requests:          after.Requests - before.Requests,
+			Solved:            after.Solved - before.Solved,
+			Errors:            after.Errors - before.Errors,
+			Rejected:          after.Rejected - before.Rejected,
+			Batches:           after.Batches - before.Batches,
+			CoalescedRequests: after.CoalescedRequests - before.CoalescedRequests,
+			CacheHits:         after.Cache.Hits - before.Cache.Hits,
+			CacheMisses:       after.Cache.Misses - before.Cache.Misses,
+			PrepHits:          after.PrepCache.Hits - before.PrepCache.Hits,
+			PrepMisses:        after.PrepCache.Misses - before.PrepCache.Misses,
+		}
+	}
+	return rep, nil
+}
+
+// issue sends one request, classifies the outcome, and records latency.
+// Every path increments exactly one outcome counter, so the report's
+// accounting identity (requests = ok+errors+rejected+cancelled) holds by
+// construction.
+func issue(ctx context.Context, target *Target, opts Options, req Request, cnt *counters, hist *stats.AtomicPow2Histogram) {
+	body, err := json.Marshal(req.Solve)
+	if err != nil {
+		cnt.errs.Add(1)
+		return
+	}
+	rctx, cancel := context.WithTimeout(ctx, opts.RequestTimeout)
+	defer cancel()
+	// A mid-flight abandon is a plain cancellation (the client "goes
+	// away"), which the server sheds rather than counting as an error —
+	// exactly what a dropped connection looks like over the network.
+	cancelling := req.CancelAfter > 0
+	if cancelling {
+		abandon := time.AfterFunc(req.CancelAfter, cancel)
+		defer abandon.Stop()
+	}
+
+	start := time.Now()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, target.BaseURL+"/solve", bytes.NewReader(body))
+	if err != nil {
+		cnt.errs.Add(1)
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := target.Client.Do(hreq)
+	if err != nil {
+		hist.Observe(uint64(time.Since(start).Microseconds()))
+		if cancelling && rctx.Err() != nil {
+			cnt.cancelled.Add(1)
+		} else {
+			cnt.errs.Add(1)
+		}
+		return
+	}
+	var out serve.SolveResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	hist.Observe(uint64(time.Since(start).Microseconds()))
+	if cancelling && rctx.Err() != nil {
+		// Our abandon fired: whatever the server managed to answer with
+		// (usually its client-went-away 503), the request was cancelled.
+		cnt.cancelled.Add(1)
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		cnt.rejected.Add(1)
+		return
+	case resp.StatusCode != http.StatusOK || decErr != nil:
+		cnt.errs.Add(1)
+		return
+	}
+	cnt.ok.Add(1)
+	if out.Converged {
+		cnt.converged.Add(1)
+	}
+	if out.CacheHit {
+		cnt.cacheHits.Add(1)
+	}
+	if out.PrepHit {
+		cnt.prepHits.Add(1)
+	}
+	// Mirror the server's coalesced_requests accounting: every RHS in a
+	// shared batch counts once. A coalesced single-RHS response is one
+	// member; an explicit multi-RHS response carries all its columns.
+	if out.BatchSize > 1 {
+		if len(req.Solve.Bs) > 0 {
+			cnt.coalesced.Add(uint64(out.BatchSize))
+		} else {
+			cnt.coalesced.Add(1)
+		}
+	}
+}
+
+// fetchStats reads the target's /stats under the same timeout that
+// protects solve requests — a wedged daemon must not hang the driver
+// around the run either. ok is false when the endpoint is unreachable
+// (a non-asyrgsd target).
+func fetchStats(target *Target, timeout time.Duration) (serve.Stats, bool) {
+	var st serve.Stats
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target.BaseURL+"/stats", nil)
+	if err != nil {
+		return st, false
+	}
+	resp, err := target.Client.Do(req)
+	if err != nil {
+		return st, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, false
+	}
+	return st, true
+}

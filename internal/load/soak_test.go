@@ -1,0 +1,228 @@
+// The deterministic in-process soak harness: every scenario in the
+// catalogue runs against a self-hosted server through the direct-handler
+// transport with a fixed request budget, race-clean in -short seconds,
+// and the end-to-end accounting invariants are asserted — no request
+// lost, client-observed coalescing exactly matching the server's
+// counters, warm traffic hitting the prep cache, /metrics agreeing with
+// the run. This is CI's load-smoke gate.
+package load_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/load"
+	"github.com/asynclinalg/asyrgs/internal/serve"
+)
+
+// soakOptions returns the per-scenario run shape: small fixed budgets so
+// a full soak stays in -short time even under -race.
+func soakOptions(scenario string) load.Options {
+	return load.Options{
+		Scenario:    scenario,
+		Clients:     4,
+		MaxRequests: 24,
+		Duration:    2 * time.Minute, // safety cap; the budget governs
+		Seed:        7,
+		N:           64,
+	}
+}
+
+func soakConfig() serve.Config {
+	return serve.Config{
+		MaxConcurrent: 4,
+		CacheSize:     8,
+		BatchWindow:   5 * time.Millisecond,
+		SolveTimeout:  30 * time.Second,
+	}
+}
+
+// checkAccounting asserts the scenario-independent invariants.
+func checkAccounting(t *testing.T, rep load.Report, opts load.Options) {
+	t.Helper()
+	if rep.Requests != uint64(opts.MaxRequests) {
+		t.Fatalf("issued %d requests, want the full budget of %d (duration cap hit?)",
+			rep.Requests, opts.MaxRequests)
+	}
+	if sum := rep.OK + rep.Errors + rep.Rejected + rep.Cancelled; sum != rep.Requests {
+		t.Fatalf("request lost: outcomes sum to %d of %d (%+v)", sum, rep.Requests, rep)
+	}
+	var histTotal uint64
+	for _, c := range rep.LatencyHistUS {
+		histTotal += c
+	}
+	if histTotal != rep.Requests {
+		t.Fatalf("latency histogram holds %d observations for %d requests", histTotal, rep.Requests)
+	}
+	if rep.Server == nil {
+		t.Fatal("in-process target must expose /stats deltas")
+	}
+	if rep.Server.Requests != rep.Requests {
+		t.Fatalf("server saw %d requests, driver issued %d — a request was lost",
+			rep.Server.Requests, rep.Requests)
+	}
+	if rep.DurationSec <= 0 || rep.ThroughputRPS <= 0 {
+		t.Fatalf("missing wall-clock accounting: %+v", rep)
+	}
+}
+
+func runScenario(t *testing.T, scenario string) (load.Report, *load.Target) {
+	t.Helper()
+	target := load.NewInProcessTarget(soakConfig())
+	t.Cleanup(target.Close)
+	opts := soakOptions(scenario)
+	rep, err := load.Run(context.Background(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, rep, opts)
+	return rep, target
+}
+
+func TestSoakWarmRepeat(t *testing.T) {
+	rep, target := runScenario(t, "warm-repeat")
+	if rep.OK != rep.Requests {
+		t.Fatalf("warm traffic must all succeed: %+v", rep)
+	}
+	if rep.Converged != rep.OK {
+		t.Fatalf("warm solves must converge: %d of %d", rep.Converged, rep.OK)
+	}
+	if rep.PrepHitRate == 0 {
+		t.Fatalf("repeat-solves never hit the prep cache: %+v", rep)
+	}
+	if rep.Server.PrepMisses != 1 {
+		t.Fatalf("one matrix must prepare exactly once, got %d misses", rep.Server.PrepMisses)
+	}
+	// Client-observed coalescing must match the server's counter exactly:
+	// each member of a shared batch counts once on both sides.
+	if rep.CoalescedRequests != rep.Server.CoalescedRequests {
+		t.Fatalf("coalescing accounting drifted: clients saw %d, server counted %d",
+			rep.CoalescedRequests, rep.Server.CoalescedRequests)
+	}
+	if rep.P99US <= 0 || rep.P50US > rep.P99US {
+		t.Fatalf("latency percentiles malformed: %+v", rep)
+	}
+
+	// /metrics must agree with the run: the requests counter moved by the
+	// budget and the /solve histogram carries every request.
+	resp, err := target.Client.Get(target.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	if !strings.Contains(text, "asyrgsd_requests_total 24") {
+		t.Fatalf("/metrics requests_total does not match the run:\n%s", text)
+	}
+	if !strings.Contains(text, `asyrgsd_request_duration_seconds_count{endpoint="/solve"} 24`) {
+		t.Fatalf("/metrics /solve histogram does not carry every request:\n%s", text)
+	}
+	if !strings.Contains(text, `asyrgsd_method_duration_seconds_count{method="asyrgs"} 24`) {
+		t.Fatalf("/metrics per-method histogram missing:\n%s", text)
+	}
+}
+
+func TestSoakColdChurn(t *testing.T) {
+	rep, _ := runScenario(t, "cold-churn")
+	if rep.OK != rep.Requests {
+		t.Fatalf("churn traffic must all succeed: %+v", rep)
+	}
+	if rep.Server.CacheMisses != rep.Requests {
+		t.Fatalf("every churn request builds a distinct matrix: %d misses for %d requests",
+			rep.Server.CacheMisses, rep.Requests)
+	}
+	if rep.CacheHitRate != 0 || rep.PrepHitRate != 0 {
+		t.Fatalf("cold churn cannot hit caches: %+v", rep)
+	}
+}
+
+func TestSoakBatchBurst(t *testing.T) {
+	rep, _ := runScenario(t, "batch-burst")
+	if rep.OK != rep.Requests {
+		t.Fatalf("batch traffic must all succeed: %+v", rep)
+	}
+	if rep.Server.Batches == 0 {
+		t.Fatal("no solve batches recorded")
+	}
+	if rep.CoalescedRequests != rep.Server.CoalescedRequests {
+		t.Fatalf("batch accounting drifted: clients saw %d coalesced RHS, server counted %d",
+			rep.CoalescedRequests, rep.Server.CoalescedRequests)
+	}
+	// Explicit 3-RHS batches are half the traffic: coalescing is
+	// guaranteed even if no concurrent singles ever merged.
+	if rep.CoalescedRequests == 0 {
+		t.Fatal("explicit multi-RHS batches must register as coalesced work")
+	}
+}
+
+func TestSoakDistmem(t *testing.T) {
+	rep, _ := runScenario(t, "distmem")
+	if rep.OK != rep.Requests || rep.Converged != rep.OK {
+		t.Fatalf("distmem traffic must converge: %+v", rep)
+	}
+	if rep.PrepHitRate == 0 {
+		t.Fatalf("one deployment shape must warm the prep cache: %+v", rep)
+	}
+}
+
+func TestSoakCancel(t *testing.T) {
+	rep, _ := runScenario(t, "cancel")
+	if rep.Cancelled == 0 {
+		t.Fatalf("cancel scenario produced no cancellations: %+v", rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("interleaved warm solves must still be served: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("cancellations must shed, not error: %+v", rep)
+	}
+	if rep.Server.Errors != 0 {
+		t.Fatalf("server counted abandoned work as errors: %+v", rep.Server)
+	}
+}
+
+func TestSoakMixed(t *testing.T) {
+	rep, _ := runScenario(t, "mixed")
+	if rep.Errors != 0 {
+		t.Fatalf("mixed traffic errored: %+v", rep)
+	}
+	if rep.OK != rep.Requests {
+		t.Fatalf("mixed traffic must all be served: %+v", rep)
+	}
+	if rep.P99US <= 0 {
+		t.Fatalf("no latency recorded: %+v", rep)
+	}
+}
+
+// TestScenarioCatalogue: the catalogue is populated, sorted, and every
+// entry is reachable by Lookup.
+func TestScenarioCatalogue(t *testing.T) {
+	all := load.Scenarios()
+	if len(all) < 6 {
+		t.Fatalf("catalogue too small: %d scenarios", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("catalogue not sorted at %q", all[i].Name)
+		}
+	}
+	for _, s := range all {
+		if s.Description == "" || s.Next == nil {
+			t.Fatalf("scenario %q incomplete", s.Name)
+		}
+		if _, err := load.Lookup(s.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := load.Lookup("nope"); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}

@@ -1,0 +1,223 @@
+// The metamorphic conformance layer: every registry method must be
+// invariant under problem transformations that provably preserve the
+// solution. Scale invariance — solving (αA, αb) for α > 0 gives the
+// same iterates, because every update and every relative residual of
+// the method families here is homogeneous in α (with α a power of two
+// the floating-point trajectory is bit-for-bit identical for
+// deterministic methods). Permutation invariance — solving the
+// symmetrically permuted system (PᵀAP, Pᵀb) gives the permuted
+// solution. One table-driven harness covers every SPD method; the
+// least-squares roster gets the analogous scale and column-permutation
+// relations. Like the conformance suite, registering a new method
+// enrols it here automatically.
+package method_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/rng"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// deterministicTrajectory names the methods whose solve path is a pure
+// function of (matrix, b, opts) — sequential or fixed-partition
+// iterations with no asynchronous scheduling. For these, scaling by a
+// power of two must reproduce the exact trajectory: same sweep count,
+// same final residual. Asynchronous methods (asyrgs*, asyncjacobi,
+// lsqcd-async, asyrgs-distmem) only promise convergence to the same
+// solution.
+var deterministicTrajectory = map[string]bool{
+	"rgs": true, "gs": true, "cg": true, "jacobi": true, "lsqcd": true,
+}
+
+// scaleCSR returns α·A.
+func scaleCSR(a *sparse.CSR, alpha float64) *sparse.CSR {
+	s := a.Clone()
+	for i := range s.Vals {
+		s.Vals[i] *= alpha
+	}
+	return s
+}
+
+// scaleVec returns α·v.
+func scaleVec(v []float64, alpha float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = alpha * v[i]
+	}
+	return out
+}
+
+// permuteSym builds PᵀAP for the permutation p (new index i holds old
+// index p[i]), i.e. (PᵀAP)[i][j] = A[p[i]][p[j]].
+func permuteSym(a *sparse.CSR, p []int) *sparse.CSR {
+	inv := make([]int, len(p))
+	for newi, oldi := range p {
+		inv[oldi] = newi
+	}
+	coo := sparse.NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			coo.Add(inv[i], inv[j], vals[k])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// permuteCols builds A·P (columns reordered: new column j holds old
+// column p[j]); rows are untouched, so b is shared.
+func permuteCols(a *sparse.CSR, p []int) *sparse.CSR {
+	inv := make([]int, len(p))
+	for newj, oldj := range p {
+		inv[oldj] = newj
+	}
+	coo := sparse.NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			coo.Add(i, inv[j], vals[k])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// permuteVec returns v reindexed by p: out[i] = v[p[i]].
+func permuteVec(v []float64, p []int) []float64 {
+	out := make([]float64, len(v))
+	for i, pi := range p {
+		out[i] = v[pi]
+	}
+	return out
+}
+
+func TestMetamorphicSPD(t *testing.T) {
+	const (
+		tol   = 1e-6
+		alpha = 4.0 // a power of two: exact in floating point
+	)
+	systems := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"laplacian2d", workload.Laplacian2D(8, 8)},
+		{"randomspd", workload.RandomSPD(150, 6, 1.5, 7)},
+	}
+	for _, sys := range systems {
+		a := sys.a
+		b, _ := workload.RHSForSolution(a, 11)
+		perm := rng.NewSequential(29).Perm(a.Rows)
+
+		for _, m := range method.ByKind(method.SPD) {
+			m := m
+			opts := method.Opts{
+				Tol: tol, MaxSweeps: budgetFor(m.Name()),
+				Workers: 2, Seed: 3, CheckEvery: 10,
+			}
+			solve := func(t *testing.T, sa *sparse.CSR, sb []float64) ([]float64, method.Result) {
+				t.Helper()
+				x := make([]float64, sa.Cols)
+				res, err := m.Solve(context.Background(), sa, sb, x, opts)
+				if err != nil {
+					t.Fatalf("solve: %v (result %+v)", err, res)
+				}
+				if !res.Converged || res.Residual > tol {
+					t.Fatalf("did not converge: %+v", res)
+				}
+				return x, res
+			}
+
+			t.Run(sys.name+"/"+m.Name()+"/scale", func(t *testing.T) {
+				skipNonAtomicUnderRace(t, m.Name())
+				x0, res0 := solve(t, a, b)
+				x1, res1 := solve(t, scaleCSR(a, alpha), scaleVec(b, alpha))
+				if d := relDiff(x1, x0); d > 2e-3 {
+					t.Fatalf("scaled solution drifted by %.3e", d)
+				}
+				if deterministicTrajectory[m.Name()] {
+					// Power-of-two scaling is exact: the relative-residual
+					// trajectory, and hence the stopping point, must be
+					// identical.
+					if res1.Sweeps != res0.Sweeps {
+						t.Fatalf("scaled trajectory stopped at %d sweeps, base at %d",
+							res1.Sweeps, res0.Sweeps)
+					}
+					if diff := res1.Residual - res0.Residual; diff > 1e-12 || diff < -1e-12 {
+						t.Fatalf("scaled residual %.17g != base %.17g", res1.Residual, res0.Residual)
+					}
+				}
+			})
+
+			t.Run(sys.name+"/"+m.Name()+"/permute", func(t *testing.T) {
+				skipNonAtomicUnderRace(t, m.Name())
+				x0, _ := solve(t, a, b)
+				x2, _ := solve(t, permuteSym(a, perm), permuteVec(b, perm))
+				// x2[i] approximates x0[perm[i]].
+				if d := relDiff(x2, permuteVec(x0, perm)); d > 2e-3 {
+					t.Fatalf("permuted solution drifted by %.3e", d)
+				}
+			})
+		}
+	}
+}
+
+func TestMetamorphicLeastSquares(t *testing.T) {
+	const (
+		tol   = 1e-8
+		alpha = 4.0
+	)
+	a := workload.RandomOverdetermined(120, 40, 5, 9)
+	b := workload.RandomRHS(a.Rows, 13)
+	perm := rng.NewSequential(31).Perm(a.Cols)
+
+	for _, m := range method.ByKind(method.LeastSquares) {
+		m := m
+		opts := method.Opts{Tol: tol, MaxSweeps: 40000, Workers: 2, Seed: 5, CheckEvery: 25}
+		solve := func(t *testing.T, sa *sparse.CSR, sb []float64) ([]float64, method.Result) {
+			t.Helper()
+			x := make([]float64, sa.Cols)
+			res, err := m.Solve(context.Background(), sa, sb, x, opts)
+			if err != nil {
+				t.Fatalf("solve: %v (result %+v)", err, res)
+			}
+			if !res.Converged || res.Residual > tol {
+				t.Fatalf("did not converge: %+v", res)
+			}
+			return x, res
+		}
+
+		t.Run(m.Name()+"/scale", func(t *testing.T) {
+			// The normal-equation residual ‖Aᵀ(b−Ax)‖/‖Aᵀb‖ is homogeneous
+			// of degree zero in α, so the scaled problem has the same
+			// minimizer and the same stopping behaviour.
+			x0, res0 := solve(t, a, b)
+			x1, res1 := solve(t, scaleCSR(a, alpha), scaleVec(b, alpha))
+			if d := relDiff(x1, x0); d > 1e-3 {
+				t.Fatalf("scaled solution drifted by %.3e", d)
+			}
+			if deterministicTrajectory[m.Name()] {
+				if res1.Sweeps != res0.Sweeps {
+					t.Fatalf("scaled trajectory stopped at %d sweeps, base at %d",
+						res1.Sweeps, res0.Sweeps)
+				}
+				if diff := res1.Residual - res0.Residual; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("scaled residual %.17g != base %.17g", res1.Residual, res0.Residual)
+				}
+			}
+		})
+
+		t.Run(m.Name()+"/permute-cols", func(t *testing.T) {
+			// min ‖(AP)y − b‖ is minimized by y = Pᵀx̂: permuting the
+			// columns permutes the coordinates of the least-squares
+			// solution.
+			x0, _ := solve(t, a, b)
+			x2, _ := solve(t, permuteCols(a, perm), b)
+			if d := relDiff(x2, permuteVec(x0, perm)); d > 1e-3 {
+				t.Fatalf("column-permuted solution drifted by %.3e", d)
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestStatsLatencySummaries: /stats carries per-endpoint and per-method
+// latency blocks whose counts track the traffic served.
+func TestStatsLatencySummaries(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := SolveRequest{
+		Matrix: MatrixSpec{Kind: "laplacian2d", N: 6},
+		Method: "asyrgs", Tol: 1e-6, MaxSweeps: 2000, Workers: 2,
+	}
+	for i := 0; i < 3; i++ {
+		req.RHSSeed = uint64(i)
+		if _, resp := postSolve(t, ts, req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	var stats Stats
+	getJSON(t, ts, "/stats", &stats)
+	sl, ok := stats.Latency["/solve"]
+	if !ok || sl.Count != 3 {
+		t.Fatalf("/solve latency block missing or wrong count: %+v", stats.Latency)
+	}
+	if sl.P50US < 0 || sl.P95US < sl.P50US || sl.P99US < sl.P95US {
+		t.Fatalf("percentiles not monotone: %+v", sl)
+	}
+	if sl.MaxUS < sl.P99US || sl.MeanUS <= 0 {
+		t.Fatalf("mean/max inconsistent: %+v", sl)
+	}
+	ml, ok := stats.MethodLatency["asyrgs"]
+	if !ok || ml.Count != 3 {
+		t.Fatalf("asyrgs method latency missing: %+v", stats.MethodLatency)
+	}
+	if _, ok := stats.MethodLatency["cg"]; ok {
+		t.Fatal("methods that served nothing must not appear in method_latency")
+	}
+}
+
+// promLines fetches /metrics and returns its lines.
+func promLines(t *testing.T, url string) []string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines
+}
+
+// promValue returns the value of the first line with the given prefix.
+func promValue(t *testing.T, lines []string, prefix string) float64 {
+	t.Helper()
+	for _, l := range lines {
+		if strings.HasPrefix(l, prefix) {
+			fields := strings.Fields(l)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", l, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no metric line with prefix %q", prefix)
+	return 0
+}
+
+// TestMetricsEndpoint: /metrics exposes the counters and cumulative
+// latency histograms in Prometheus text format, consistent with /stats.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := SolveRequest{
+		Matrix: MatrixSpec{Kind: "randomspd", N: 100, NNZ: 5, Seed: 6},
+		Method: "cg", Tol: 1e-8,
+	}
+	for i := 0; i < 2; i++ {
+		req.RHSSeed = uint64(i)
+		if _, resp := postSolve(t, ts, req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	lines := promLines(t, ts.URL)
+	if got := promValue(t, lines, "asyrgsd_requests_total"); got != 2 {
+		t.Fatalf("requests_total = %v, want 2", got)
+	}
+	if got := promValue(t, lines, "asyrgsd_solved_total"); got != 2 {
+		t.Fatalf("solved_total = %v, want 2", got)
+	}
+	if got := promValue(t, lines, `asyrgsd_cache_events_total{cache="matrix",event="hit"}`); got != 1 {
+		t.Fatalf("matrix cache hits = %v, want 1", got)
+	}
+	if got := promValue(t, lines, `asyrgsd_method_requests_total{method="cg"}`); got != 2 {
+		t.Fatalf("method_requests_total{cg} = %v, want 2", got)
+	}
+
+	// The /solve histogram: cumulative buckets ending in +Inf == count.
+	var bucketVals []float64
+	for _, l := range lines {
+		if strings.HasPrefix(l, `asyrgsd_request_duration_seconds_bucket{endpoint="/solve"`) {
+			fields := strings.Fields(l)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", l, err)
+			}
+			bucketVals = append(bucketVals, v)
+		}
+	}
+	if len(bucketVals) < 2 {
+		t.Fatalf("no /solve histogram buckets rendered:\n%s", strings.Join(lines, "\n"))
+	}
+	for i := 1; i < len(bucketVals); i++ {
+		if bucketVals[i] < bucketVals[i-1] {
+			t.Fatalf("histogram buckets not cumulative: %v", bucketVals)
+		}
+	}
+	inf := bucketVals[len(bucketVals)-1]
+	if inf != 2 {
+		t.Fatalf("+Inf bucket = %v, want 2", inf)
+	}
+	if got := promValue(t, lines, `asyrgsd_request_duration_seconds_count{endpoint="/solve"}`); got != inf {
+		t.Fatalf("histogram count %v != +Inf bucket %v", got, inf)
+	}
+	if got := promValue(t, lines, `asyrgsd_request_duration_seconds_sum{endpoint="/solve"}`); got <= 0 {
+		t.Fatalf("histogram sum = %v, want > 0", got)
+	}
+	if got := promValue(t, lines, fmt.Sprintf(`asyrgsd_method_duration_seconds_count{method=%q}`, "cg")); got != 2 {
+		t.Fatalf("method histogram count = %v, want 2", got)
+	}
+}

@@ -15,7 +15,10 @@
 //	               set "bs" for an explicit multi-RHS batch
 //	GET  /methods  the registry roster with kinds
 //	GET  /healthz  liveness probe
-//	GET  /stats    request, cache, batching and per-method counters
+//	GET  /stats    request, cache, batching and per-method counters plus
+//	               per-endpoint and per-method latency summaries
+//	GET  /metrics  the same counters and the raw latency histograms in
+//	               Prometheus text exposition format
 package serve
 
 import (
@@ -34,6 +37,7 @@ import (
 
 	"github.com/asynclinalg/asyrgs/internal/method"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/stats"
 	"github.com/asynclinalg/asyrgs/internal/workload"
 )
 
@@ -314,6 +318,12 @@ type Stats struct {
 	Batches           uint64            `json:"batches"`
 	CoalescedRequests uint64            `json:"coalesced_requests"`
 	PerMethod         map[string]uint64 `json:"per_method"`
+	// Latency summarizes request wall time per endpoint; MethodLatency
+	// per registry method (microseconds, power-of-two buckets — the raw
+	// cumulative histograms are on GET /metrics). Only methods that have
+	// served at least one request appear.
+	Latency       map[string]LatencySummary `json:"latency"`
+	MethodLatency map[string]LatencySummary `json:"method_latency,omitempty"`
 }
 
 // CacheStats reports one session cache's counters.
@@ -384,6 +394,13 @@ type Server struct {
 
 	methodMu sync.Mutex
 	byMethod map[string]uint64
+
+	// Latency histograms (µs): per endpoint and per registry method.
+	// Both maps are built complete at construction and never written
+	// afterwards, so handlers read them without locking; the histograms
+	// themselves are atomic.
+	endpointLat map[string]*stats.AtomicPow2Histogram
+	methodLat   map[string]*stats.AtomicPow2Histogram
 }
 
 // New builds a Server.
@@ -398,11 +415,20 @@ func New(cfg Config) *Server {
 		start:       time.Now(),
 		pending:     map[string]*pendingBatch{},
 		byMethod:    map[string]uint64{},
+		endpointLat: map[string]*stats.AtomicPow2Histogram{},
+		methodLat:   map[string]*stats.AtomicPow2Histogram{},
 	}
-	s.mux.HandleFunc("POST /solve", s.handleSolve)
-	s.mux.HandleFunc("GET /methods", s.handleMethods)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	for _, ep := range endpoints {
+		s.endpointLat[ep] = &stats.AtomicPow2Histogram{}
+	}
+	for _, name := range method.Names() {
+		s.methodLat[name] = &stats.AtomicPow2Histogram{}
+	}
+	s.mux.HandleFunc("POST /solve", s.timed("/solve", s.handleSolve))
+	s.mux.HandleFunc("GET /methods", s.timed("/methods", s.handleMethods))
+	s.mux.HandleFunc("GET /healthz", s.timed("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.timed("/stats", s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.timed("/metrics", s.handleMetrics))
 	return s
 }
 
@@ -444,13 +470,22 @@ func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// counterSnapshot assembles the counter fields shared by GET /stats and
+// GET /metrics. Every field is read from an atomic or under its mutex
+// (the per-method map copy, the cache counters), so a snapshot taken
+// under concurrent load is free of torn reads: each counter is a value
+// that existed at some instant during the call.
+func (s *Server) counterSnapshot() Stats {
 	s.methodMu.Lock()
 	perMethod := make(map[string]uint64, len(s.byMethod))
 	for k, v := range s.byMethod {
 		perMethod[k] = v
 	}
 	s.methodMu.Unlock()
-	writeJSON(w, http.StatusOK, Stats{
+	return Stats{
 		Requests:          s.requests.Load(),
 		Solved:            s.solved.Load(),
 		Errors:            s.errs.Load(),
@@ -462,7 +497,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batches:           s.batches.Load(),
 		CoalescedRequests: s.coalesced.Load(),
 		PerMethod:         perMethod,
-	})
+	}
+}
+
+// snapshot is the full GET /stats reply: the counters plus the latency
+// summaries (each histogram snapshot is one atomic pass per bucket).
+// GET /metrics skips the summarization and renders the raw histograms
+// itself.
+func (s *Server) snapshot() Stats {
+	st := s.counterSnapshot()
+	st.Latency = make(map[string]LatencySummary, len(s.endpointLat))
+	for ep, h := range s.endpointLat {
+		st.Latency[ep] = summarize(h.Snapshot(), h.Sum())
+	}
+	st.MethodLatency = make(map[string]LatencySummary)
+	for name, h := range s.methodLat {
+		if snap := h.Snapshot(); snap.Total() > 0 {
+			st.MethodLatency[name] = summarize(snap, h.Sum())
+		}
+	}
+	return st
 }
 
 // runBatch executes one solve batch behind the admission gate and
@@ -583,6 +637,7 @@ func (s *Server) solveCoalesced(batchKey string, ps method.PreparedSystem, opts 
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	start := time.Now()
 
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -607,6 +662,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Per-method latency covers the whole request — cache lookups,
+	// queueing at the gate, and the solve itself — which is what a client
+	// of that method experiences.
+	if hist := s.methodLat[req.Method]; hist != nil {
+		defer func() { hist.Observe(uint64(time.Since(start).Microseconds())) }()
 	}
 
 	// Phase 1 — prepare (or fetch) the per-matrix state. Both caches use

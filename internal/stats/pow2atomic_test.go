@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPow2Bucket(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 62, 63}, {1<<63 + 5, 64},
+	}
+	for _, c := range cases {
+		if got := Pow2Bucket(c.v); got != c.want {
+			t.Fatalf("Pow2Bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAtomicPow2HistogramObserveAndSnapshot(t *testing.T) {
+	var h AtomicPow2Histogram
+	for _, v := range []uint64{0, 1, 3, 100, 100, 5000} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Total() != 6 {
+		t.Fatalf("total = %d, want 6", snap.Total())
+	}
+	if h.Sum() != 0+1+3+100+100+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if snap.Counts[0] != 1 || snap.Counts[1] != 1 || snap.Counts[2] != 1 {
+		t.Fatalf("low buckets wrong: %v", snap.Counts)
+	}
+	// 100 falls in [64,128) = bucket 7; 5000 in [4096,8192) = bucket 13.
+	if snap.Counts[7] != 2 || snap.Counts[13] != 1 {
+		t.Fatalf("high buckets wrong: %v", snap.Counts)
+	}
+	if len(snap.Counts) != 14 {
+		t.Fatalf("snapshot not trimmed to top bucket: len %d", len(snap.Counts))
+	}
+}
+
+func TestAtomicPow2HistogramConcurrent(t *testing.T) {
+	var h AtomicPow2Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Total(); got != workers*per {
+		t.Fatalf("lost observations: %d of %d", got, workers*per)
+	}
+}
+
+func TestPow2HistogramQuantile(t *testing.T) {
+	// 10 zeros, 10 values in [4,8): p50 is 0, p75+ interpolates in bucket 3.
+	h := Pow2Histogram{Counts: []uint64{10, 0, 0, 10}}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("p50 = %v, want 0", q)
+	}
+	for _, q := range []float64{0.75, 0.9, 0.99} {
+		v := h.Quantile(q)
+		if v < 4 || v > 8 {
+			t.Fatalf("q%.2f = %v, want within bucket [4,8]", q, v)
+		}
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %v, want the bucket's upper edge 8", q)
+	}
+	if q := (Pow2Histogram{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+// TestQuantileBoundedByUpperBoundProperty: the interpolated quantile never
+// exceeds the conservative QuantileUpperBound, and is monotone in q.
+func TestQuantileBoundedByUpperBoundProperty(t *testing.T) {
+	f := func(raw []uint16, q10 uint8) bool {
+		counts := make([]uint64, len(raw))
+		for i, v := range raw {
+			counts[i] = uint64(v % 100)
+		}
+		h := Pow2Histogram{Counts: counts}
+		if h.Total() == 0 {
+			return true
+		}
+		q := float64(q10%11) / 10
+		v := h.Quantile(q)
+		if v > float64(h.QuantileUpperBound(q)) && h.QuantileUpperBound(q) != 0 {
+			return false
+		}
+		return v <= h.Quantile(1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
