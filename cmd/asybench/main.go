@@ -52,7 +52,7 @@ func writeBaseline(path string, write func(*os.File) error) {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho|delays|sampling|faults|distmem|classic|methods|prepare|serve")
+		exp     = flag.String("exp", "all", "experiment: all|fig1|fig2|table1|fig3|theory|beta|sync|lsq|rho|delays|sampling|faults|distmem|classic|methods|prepare|hotpath|serve")
 		jsonOut = flag.String("json", "", "write the prepare/distmem experiment's rows as a JSON baseline to this file")
 		terms   = flag.Int("n", 1500, "Gram matrix dimension (paper: 120147)")
 		rhs     = flag.Int("rhs", 16, "right-hand sides solved together (paper: 51)")
@@ -127,6 +127,9 @@ func main() {
 		case "prepare":
 			rows := r.PreparedVsCold(*sweeps)
 			writeBaseline(jsonPath, func(f *os.File) error { return bench.WritePrepareJSON(f, rows) })
+		case "hotpath":
+			rows := r.Hotpath(*sweeps, nil, nil)
+			writeBaseline(jsonPath, func(f *os.File) error { return bench.WriteHotpathJSON(f, rows) })
 		case "serve":
 			rows := r.ServeLoad(4, 0)
 			writeBaseline(jsonPath, func(f *os.File) error { return bench.WriteServeLoadJSON(f, rows) })
@@ -136,7 +139,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"rho", "fig1", "fig2", "table1", "fig3", "theory", "beta", "sync", "lsq", "delays", "sampling", "faults", "distmem", "classic", "methods", "prepare", "serve"} {
+		for _, name := range []string{"rho", "fig1", "fig2", "table1", "fig3", "theory", "beta", "sync", "lsq", "delays", "sampling", "faults", "distmem", "classic", "methods", "prepare", "hotpath", "serve"} {
 			run(name)
 		}
 		return

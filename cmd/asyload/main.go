@@ -11,6 +11,7 @@
 //	        [-duration 10s] [-requests 0] [-n 96] [-seed 1]
 //	        [-json] [-out BENCH_serve.json]
 //	        [-max-concurrent P] [-batch-window 2ms] [-cache 16]
+//	        [-baseline BENCH_serve.json] [-slo-p99-factor 25] [-slo-error-band 0.05]
 //
 // With -target empty the generator self-hosts a serve.Server behind a
 // direct handler transport (no sockets) sized by the -max-concurrent,
@@ -18,10 +19,18 @@
 // regenerate the BENCH_serve.json baseline. -scenario list prints the
 // catalogue. -json writes the report to -out (default BENCH_serve.json).
 //
+// With -baseline the run becomes an SLO gate: the fresh report is
+// compared against the committed baseline and the process exits 3 when
+// p99 latency exceeds -slo-p99-factor times the baseline's or the error
+// rate exceeds the baseline's by more than -slo-error-band — CI's
+// load-smoke regression check. The baseline is read before -json
+// overwrites it, so one invocation can gate and regenerate.
+//
 // Examples:
 //
 //	asyload -scenario warm-repeat -clients 8 -duration 5s
 //	asyload -target http://localhost:8080 -scenario mixed -clients 8 -duration 2s -json
+//	asyload -scenario mixed -clients 4 -duration 2s -baseline BENCH_serve.json -json
 package main
 
 import (
@@ -49,6 +58,9 @@ func main() {
 		maxConc     = flag.Int("max-concurrent", 0, "self-hosted: max in-flight solve batches (0 = GOMAXPROCS)")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "self-hosted: coalescing window")
 		cacheSize   = flag.Int("cache", 16, "self-hosted: built-matrix LRU capacity")
+		baseline    = flag.String("baseline", "", "committed BENCH_serve.json to gate this run against (SLO check)")
+		sloP99      = flag.Float64("slo-p99-factor", 25, "fail (exit 3) when p99 exceeds this multiple of the baseline's; 0 disables")
+		sloErrBand  = flag.Float64("slo-error-band", 0.05, "fail (exit 3) when the error rate exceeds the baseline's by more than this; negative disables")
 	)
 	flag.Parse()
 
@@ -57,6 +69,18 @@ func main() {
 			fmt.Printf("%-12s %s\n", s.Name, s.Description)
 		}
 		return
+	}
+
+	// Read the committed baseline before the run: with -json the run's
+	// own report may overwrite the same path afterwards.
+	var sloBaseline *load.Report
+	if *baseline != "" {
+		base, err := load.ReadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asyload: %v\n", err)
+			os.Exit(2)
+		}
+		sloBaseline = &base
 	}
 
 	var target *load.Target
@@ -103,5 +127,18 @@ func main() {
 	if rep.Requests == 0 {
 		fmt.Fprintln(os.Stderr, "asyload: no requests completed")
 		os.Exit(1)
+	}
+
+	// SLO gate: compare this run against the committed baseline (read
+	// before any -json overwrite), failing with a distinct exit code so
+	// CI can tell a latency/error regression from an unusable run.
+	if sloBaseline != nil {
+		slo := load.SLO{P99Factor: *sloP99, ErrorBand: *sloErrBand}
+		if err := slo.Check(rep, *sloBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "asyload: %v\n", err)
+			os.Exit(3)
+		}
+		fmt.Printf("SLO gate passed vs %s (p99 ≤ %.1f× %.2fms, error rate ≤ %.3f+%.3f)\n",
+			*baseline, *sloP99, sloBaseline.P99US/1e3, sloBaseline.ErrorRate, *sloErrBand)
 	}
 }

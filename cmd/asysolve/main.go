@@ -7,7 +7,7 @@
 //
 //	asysolve -A matrix.mtx [-b rhs.mtx] [-method name | -method list]
 //	         [-tol 1e-6] [-maxsweeps 1000] [-workers P] [-beta b] [-inner k]
-//	         [-queue-cap c] [-timeout d] [-o solution.mtx] [-repeat k]
+//	         [-queue-cap c] [-chunk k] [-timeout d] [-o solution.mtx] [-repeat k]
 //
 // When -b is omitted a random right-hand side with known solution is
 // generated, and the final A-norm error is reported alongside the
@@ -52,6 +52,7 @@ func main() {
 		inner      = flag.Int("inner", 2, "preconditioner sweeps for fcg")
 		checkEvery = flag.Int("check", 5, "sweeps between residual checks")
 		queueCap   = flag.Int("queue-cap", 0, "per-peer message-queue budget of the sharded asyrgs-distmem backend (0 = default 4)")
+		chunk      = flag.Int("chunk", 0, "iteration-claiming granularity of the asynchronous methods (0 = auto)")
 		timeout    = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		outPath    = flag.String("o", "", "write the solution as an n×1 MatrixMarket file")
 		seed       = flag.Uint64("seed", 1, "seed for directions and generated RHS")
@@ -114,10 +115,17 @@ func main() {
 		defer cancel()
 	}
 
+	// Delay measurement claims one iteration at a time, so an explicit
+	// claiming granularity turns it off — the point of -chunk is to see
+	// the uninstrumented hot path.
+	measureDelay := *chunk == 0
+	if !measureDelay {
+		fmt.Printf("claiming chunk %d: delay measurement disabled\n", *chunk)
+	}
 	opts := method.Opts{
 		Tol: *tol, MaxSweeps: *maxSweeps, Workers: *workers,
 		Beta: *beta, Seed: *seed, Inner: *inner, CheckEvery: *checkEvery,
-		QueueCap: *queueCap, XStar: xstar, MeasureDelay: true,
+		QueueCap: *queueCap, Chunk: *chunk, XStar: xstar, MeasureDelay: measureDelay,
 	}
 
 	// Phase 1: capture the per-matrix state once.

@@ -1,0 +1,255 @@
+package alias
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
+)
+
+// chiSquare returns the χ² statistic of observed counts against expected
+// probabilities over total draws. Zero-probability cells must stay empty
+// and are excluded from the statistic (their expectation is 0).
+func chiSquare(t *testing.T, counts []uint64, probs []float64, total uint64) float64 {
+	t.Helper()
+	var x2 float64
+	for i, p := range probs {
+		if p == 0 {
+			if counts[i] != 0 {
+				t.Fatalf("zero-weight slot %d was drawn %d times", i, counts[i])
+			}
+			continue
+		}
+		e := p * float64(total)
+		d := float64(counts[i]) - e
+		x2 += d * d / e
+	}
+	return x2
+}
+
+// TestChiSquareGoodnessOfFit draws from a skewed weight vector and
+// checks the empirical distribution against the exact one. The critical
+// value is χ²_{0.999} for the cell count, approximated with the
+// Wilson–Hilferty transform, so a correct sampler fails with
+// probability ≈ 1e-3 (the seed is fixed, so the test is deterministic).
+func TestChiSquareGoodnessOfFit(t *testing.T) {
+	w := []float64{1, 3, 0, 10, 0.5, 7, 2.25, 0.001, 5, 100}
+	tab, err := New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	probs := make([]float64, len(w))
+	for i, v := range w {
+		probs[i] = v / total
+	}
+
+	stream := rng.NewStream(12345)
+	const draws = 400_000
+	counts := make([]uint64, len(w))
+	for j := uint64(0); j < draws; j++ {
+		counts[tab.Pick(stream, j)]++
+	}
+	x2 := chiSquare(t, counts, probs, draws)
+
+	// Cells with non-zero probability: 8 → 7 degrees of freedom.
+	k := 0
+	for _, p := range probs {
+		if p > 0 {
+			k++
+		}
+	}
+	df := float64(k - 1)
+	// Wilson–Hilferty: χ²_q ≈ df·(1 − 2/(9df) + z_q·sqrt(2/(9df)))³,
+	// z_{0.999} ≈ 3.09.
+	crit := df * math.Pow(1-2/(9*df)+3.09*math.Sqrt(2/(9*df)), 3)
+	if x2 > crit {
+		t.Fatalf("χ² = %.2f exceeds the 99.9%% critical value %.2f (df=%v)", x2, crit, df)
+	}
+}
+
+// TestMarginalEquivalenceWithCDF draws the same budget through the alias
+// table and through the binary-search CDF it replaces and checks the two
+// empirical marginals agree within sampling noise — the direct check
+// that swapping the data structure did not change the distribution.
+func TestMarginalEquivalenceWithCDF(t *testing.T) {
+	w := []float64{2, 1, 4, 0.25, 8, 1, 1, 6}
+	tab, err := New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := make([]float64, len(w))
+	var total float64
+	for i, v := range w {
+		total += v
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+
+	stream := rng.NewStream(99)
+	const draws = 300_000
+	aliasCounts := make([]float64, len(w))
+	cdfCounts := make([]float64, len(w))
+	for j := uint64(0); j < draws; j++ {
+		aliasCounts[tab.Pick(stream, j)]++
+		u := stream.Float64At(j)
+		r := sort.SearchFloat64s(cdf, u)
+		if r >= len(cdf) {
+			r = len(cdf) - 1
+		}
+		cdfCounts[r]++
+	}
+	for i := range w {
+		fa := aliasCounts[i] / draws
+		fc := cdfCounts[i] / draws
+		// Binomial std dev at p≈0.34 over 3e5 draws is < 1e-3; allow 5σ.
+		if math.Abs(fa-fc) > 5e-3 {
+			t.Fatalf("slot %d: alias marginal %.4f vs CDF marginal %.4f", i, fa, fc)
+		}
+	}
+}
+
+// TestPickIsPureFunctionOfStreamAndIndex replays picks in shuffled order
+// and across reconstructed tables: the draw at index j must not depend
+// on call order, table instance, or anything else.
+func TestPickIsPureFunctionOfStreamAndIndex(t *testing.T) {
+	w := []float64{1, 2, 3, 4, 5}
+	t1, _ := New(w)
+	t2, _ := New(w)
+	stream := rng.NewStream(7)
+	const n = 10_000
+	forward := make([]int, n)
+	for j := 0; j < n; j++ {
+		forward[j] = t1.Pick(stream, uint64(j))
+	}
+	for j := n - 1; j >= 0; j-- {
+		if got := t2.Pick(stream, uint64(j)); got != forward[j] {
+			t.Fatalf("pick(%d) = %d on replay, was %d", j, got, forward[j])
+		}
+	}
+}
+
+func TestPickUintsMatchesPick(t *testing.T) {
+	tab, _ := New([]float64{3, 1, 4, 1, 5, 9})
+	stream := rng.NewStream(11)
+	for j := uint64(0); j < 5000; j++ {
+		u1, u2 := stream.Uint64PairAt(j)
+		if tab.PickUints(u1, u2) != tab.Pick(stream, j) {
+			t.Fatalf("PickUints disagrees with Pick at index %d", j)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		w    []float64
+		want error
+	}{
+		{"empty", nil, ErrEmpty},
+		{"negative", []float64{1, -2, 3}, ErrNegativeWeight},
+		{"nan", []float64{1, math.NaN()}, ErrBadWeight},
+		{"inf", []float64{math.Inf(1), 1}, ErrBadWeight},
+		{"zero-total", []float64{0, 0, 0}, ErrZeroTotal},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.w); err == nil {
+			t.Fatalf("%s: want error, got nil", tc.name)
+		} else if !errorsIs(err, tc.want) {
+			t.Fatalf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// errorsIs avoids importing errors just for the test.
+func errorsIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestSingleSlot(t *testing.T) {
+	tab, err := New([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := rng.NewStream(0)
+	for j := uint64(0); j < 100; j++ {
+		if tab.Pick(stream, j) != 0 {
+			t.Fatal("single-slot table must always pick 0")
+		}
+	}
+}
+
+// BenchmarkAliasVsCDF is the acceptance benchmark: at large n the O(1)
+// alias pick must beat the O(log n) binary search. Both draw from the
+// identical Philox stream so the comparison isolates the selection
+// structure.
+func BenchmarkAliasVsCDF(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 17} {
+		w := make([]float64, n)
+		g := rng.NewSequential(5)
+		for i := range w {
+			w[i] = 0.5 + g.Float64()
+		}
+		tab, err := New(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cdf := make([]float64, n)
+		var total float64
+		for i, v := range w {
+			total += v
+			cdf[i] = total
+		}
+		for i := range cdf {
+			cdf[i] /= total
+		}
+		stream := rng.NewStream(1)
+
+		b.Run(benchName("alias", n), func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += tab.Pick(stream, uint64(i))
+			}
+			benchSink = sink
+		})
+		b.Run(benchName("cdf", n), func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				u := stream.Float64At(uint64(i))
+				r := sort.SearchFloat64s(cdf, u)
+				if r >= n {
+					r = n - 1
+				}
+				sink += r
+			}
+			benchSink = sink
+		})
+	}
+}
+
+var benchSink int
+
+func benchName(kind string, n int) string {
+	switch n {
+	case 1 << 10:
+		return kind + "/n=1k"
+	default:
+		return kind + "/n=128k"
+	}
+}

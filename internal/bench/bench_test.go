@@ -368,3 +368,24 @@ func TestMethodTableRows(t *testing.T) {
 		}
 	}
 }
+
+func TestHotpathGridShape(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	rows := r.Hotpath(2, []int{1, 2}, []int{1, 0})
+	// 3 samplers × 2 worker counts × 2 chunk sizes.
+	if len(rows) != 12 {
+		t.Fatalf("hotpath grid has %d rows, want 12", len(rows))
+	}
+	samplers := map[string]bool{}
+	for _, row := range rows {
+		samplers[row.Sampler] = true
+		if row.WallMS <= 0 || row.NSPerIter <= 0 || row.Iterations == 0 {
+			t.Fatalf("bad hotpath row %+v", row)
+		}
+	}
+	for _, want := range []string{"uniform", "weighted-alias", "weighted-cdf"} {
+		if !samplers[want] {
+			t.Fatalf("hotpath grid missing sampler %q", want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/core"
+)
+
+// HotpathRow is one cell of the sampler × workers × chunk-size grid that
+// measures the rebuilt inner loop: O(1) alias sampling against the
+// legacy binary-search CDF, and chunked iteration claiming against
+// one-CAS-per-iteration, at fixed work. The BENCH_hotpath.json artifact
+// CI regenerates on every PR is the serialized grid.
+type HotpathRow struct {
+	// Sampler is uniform | weighted-alias | weighted-cdf.
+	Sampler string `json:"sampler"`
+	Workers int    `json:"workers"`
+	// Chunk is the claiming granularity; 0 reports the auto-sized default.
+	Chunk      int     `json:"chunk"`
+	Sweeps     int     `json:"sweeps"`
+	Iterations uint64  `json:"iterations"`
+	WallMS     float64 `json:"wall_ms"`     // median over Repeats
+	NSPerIter  float64 `json:"ns_per_iter"` // WallMS normalised per coordinate update
+}
+
+// hotpathSampler names one sampler configuration of the grid.
+type hotpathSampler struct {
+	name string
+	opts core.Options
+}
+
+// Hotpath sweeps the direction-sampling and iteration-claiming hot path
+// over sampler implementations, worker counts and claiming chunk sizes,
+// running fixed-work asynchronous sweeps on the Gram workload. Nil
+// workers/chunks select defaults sized for CI. The direction multiset is
+// identical across every cell of a sampler row (pure function of
+// (seed, j)), so the grid isolates the cost of the selection structure
+// and of counter contention.
+func (r *Runner) Hotpath(sweeps int, workers, chunks []int) []HotpathRow {
+	r.Prepare()
+	if sweeps <= 0 {
+		sweeps = 4
+	}
+	if workers == nil {
+		// Oversubscription (workers beyond GOMAXPROCS) still exercises
+		// counter claiming — the paper's thread sweep does the same — so
+		// the default grid is fixed, plus the machine's width when larger.
+		workers = []int{1, 2, 4}
+		if max := runtime.GOMAXPROCS(0); max > 4 {
+			workers = append(workers, max)
+		}
+	}
+	if chunks == nil {
+		chunks = []int{1, 16, 64, 0}
+	}
+	repeats := r.Cfg.Repeats
+	if repeats < 1 {
+		repeats = 3
+	}
+	samplers := []hotpathSampler{
+		{"uniform", core.Options{}},
+		{"weighted-alias", core.Options{DiagonalWeighted: true}},
+		{"weighted-cdf", core.Options{DiagonalWeighted: true, WeightedCDF: true}},
+	}
+
+	prep, err := core.PrepareMatrix(r.Gram)
+	if err != nil {
+		panic(err)
+	}
+	n := r.Gram.Rows
+	iters := uint64(sweeps) * uint64(n)
+
+	r.printf("\n== Hotpath grid: sampler × workers × chunk (%d fixed sweeps on n=%d, median of %d) ==\n", sweeps, n, repeats)
+	r.printf("%-16s %-8s %-7s %-10s %-10s\n", "sampler", "workers", "chunk", "wall-ms", "ns/iter")
+	var rows []HotpathRow
+	for _, smp := range samplers {
+		for _, w := range workers {
+			for _, chunk := range chunks {
+				opts := smp.opts
+				opts.Workers = w
+				opts.Chunk = chunk
+				opts.Seed = r.Cfg.Seed
+				ds := make([]time.Duration, 0, repeats)
+				for rep := 0; rep < repeats; rep++ {
+					s, err := core.NewFromPrep(prep, opts)
+					if err != nil {
+						panic(err)
+					}
+					x := make([]float64, n)
+					ds = append(ds, timeIt(func() { s.AsyncSweeps(x, r.b1, sweeps) }))
+				}
+				med := median(ds)
+				row := HotpathRow{
+					Sampler: smp.name, Workers: w, Chunk: chunk,
+					Sweeps: sweeps, Iterations: iters,
+					WallMS:    ms(med),
+					NSPerIter: float64(med.Nanoseconds()) / float64(iters),
+				}
+				rows = append(rows, row)
+				r.printf("%-16s %-8d %-7d %-10.3f %-10.1f\n", row.Sampler, row.Workers, row.Chunk, row.WallMS, row.NSPerIter)
+			}
+		}
+	}
+	return rows
+}
+
+// WriteHotpathJSON writes the hotpath grid as an indented JSON baseline
+// (the CI artifact BENCH_hotpath.json).
+func WriteHotpathJSON(w io.Writer, rows []HotpathRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

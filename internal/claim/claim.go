@@ -1,0 +1,29 @@
+// Package claim sizes the chunked iteration-claiming granularity shared
+// by the asynchronous coordinate solvers (core, kaczmarz, lsq): a
+// worker grabs a block of global iteration indices from the shared
+// atomic counter per CAS instead of one, taking the counter off the
+// critical path. One definition keeps the heuristic from drifting
+// across the solver families.
+package claim
+
+// Size resolves the claiming granularity. An explicit positive size
+// wins; otherwise the chunk is total/(workers·16) clamped to [1, 256] —
+// large enough that the shared counter stops being the bottleneck,
+// small enough that P workers strand at most a few percent of the
+// budget in partially-unfinished chunks at the tail.
+func Size(explicit int, total uint64, workers int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	k := int(total / uint64(workers*16))
+	switch {
+	case k < 1:
+		return 1
+	case k > 256:
+		return 256
+	}
+	return k
+}

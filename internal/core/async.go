@@ -72,6 +72,7 @@ func (s *Solver) AsyncSweeps(x, b []float64, sweeps int) {
 func (s *Solver) runAsyncRange(x, b []float64, start, end uint64, workers int) {
 	stream := rng.NewStream(s.opts.Seed)
 	smp := s.newSampler(true)
+	chunk := s.chunkSize(end - start)
 	var wg sync.WaitGroup
 	if s.opts.Partitioned && workers > 1 {
 		total := end - start
@@ -82,7 +83,7 @@ func (s *Solver) runAsyncRange(x, b []float64, start, end uint64, workers int) {
 			wg.Add(1)
 			go func(w int, lo, hi uint64) {
 				defer wg.Done()
-				s.asyncWorkerOwned(x, b, stream, smp, lo, hi, w, &committed)
+				s.asyncWorkerOwned(x, b, stream, smp, lo, hi, w, chunk, &committed)
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -94,95 +95,125 @@ func (s *Solver) runAsyncRange(x, b []float64, start, end uint64, workers int) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s.asyncWorker(x, b, stream, smp, &counter, end, w)
+			s.asyncWorker(x, b, stream, smp, &counter, end, w, chunk)
 		}(w)
 	}
 	wg.Wait()
 }
 
 // asyncWorkerOwned runs the partitioned-mode inner loop: a fixed index
-// slice [lo,hi) and single-writer updates within the worker's block.
-func (s *Solver) asyncWorkerOwned(x, b []float64, stream rng.Stream, smp sampler, lo, hi uint64, worker int, committed *atomic.Uint64) {
+// slice [lo,hi) and single-writer updates within the worker's block. The
+// owned range is walked chunk indices at a time so the direction buffer
+// is generated in one pass per block, like the shared-counter path.
+func (s *Solver) asyncWorkerOwned(x, b []float64, stream rng.Stream, smp sampler, lo, hi uint64, worker, chunk int, committed *atomic.Uint64) {
 	a := s.a
 	beta := s.beta
 	nonAtomic := s.opts.NonAtomic
 	measure := s.opts.MeasureDelay
 	throttle := s.opts.Throttle
-	for j := lo; j < hi; j++ {
-		if throttle != nil {
-			throttle(worker, j)
+	picks := make([]int32, chunk)
+	for base := lo; base < hi; base += uint64(chunk) {
+		top := base + uint64(chunk)
+		if top > hi {
+			top = hi
 		}
-		r := smp.pick(stream, j, worker)
-		var dot float64
-		if nonAtomic {
-			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-				dot += a.Vals[k] * x[a.ColIdx[k]]
+		m := int(top - base)
+		smp.fill(stream, base, picks[:m], worker)
+		for t := 0; t < m; t++ {
+			j := base + uint64(t)
+			if throttle != nil {
+				throttle(worker, j)
 			}
-		} else {
-			dot = a.RowDotAtomic(r, x)
-		}
-		gamma := (b[r] - dot) * s.invD[r]
-		if nonAtomic {
-			x[r] += beta * gamma
-		} else {
-			atomicfloat.Add(&x[r], beta*gamma)
-		}
-		if measure {
-			before := committed.Load()
-			after := committed.Add(1)
-			var d uint64
-			if after > before+1 {
-				d = after - before - 1
+			r := int(picks[t])
+			var dot float64
+			if nonAtomic {
+				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+					dot += a.Vals[k] * x[a.ColIdx[k]]
+				}
+			} else {
+				dot = a.RowDotAtomic(r, x)
 			}
-			s.observeTau(d)
+			gamma := (b[r] - dot) * s.invD[r]
+			if nonAtomic {
+				x[r] += beta * gamma
+			} else {
+				atomicfloat.Add(&x[r], beta*gamma)
+			}
+			if measure {
+				before := committed.Load()
+				after := committed.Add(1)
+				var d uint64
+				if after > before+1 {
+					d = after - before - 1
+				}
+				s.observeTau(d)
+			}
 		}
 	}
 }
 
-// asyncWorker claims iteration indices from the shared counter until the
-// range is exhausted. Each iteration is Algorithm 1's body.
-func (s *Solver) asyncWorker(x, b []float64, stream rng.Stream, smp sampler, counter *atomic.Uint64, end uint64, worker int) {
+// asyncWorker claims blocks of chunk iteration indices from the shared
+// counter until the range is exhausted: one CAS per chunk instead of one
+// per iteration, with the block's directions generated into a local
+// buffer in a single pass. Each iteration is Algorithm 1's body. The
+// direction consumed at global index j is unchanged by the chunking —
+// the sampler is a pure function of (stream, j) — so every chunk size
+// replays the identical direction multiset.
+func (s *Solver) asyncWorker(x, b []float64, stream rng.Stream, smp sampler, counter *atomic.Uint64, end uint64, worker, chunk int) {
 	a := s.a
 	beta := s.beta
 	nonAtomic := s.opts.NonAtomic
 	measure := s.opts.MeasureDelay
 	throttle := s.opts.Throttle
+	picks := make([]int32, chunk)
 	for {
-		j := counter.Add(1) - 1
-		if j >= end {
+		base := counter.Add(uint64(chunk)) - uint64(chunk)
+		if base >= end {
 			return
 		}
-		if throttle != nil {
-			throttle(worker, j)
+		top := base + uint64(chunk)
+		if top > end {
+			top = end
 		}
-		r := smp.pick(stream, j, worker)
-		// Read phase: other workers may commit updates mid-read — the
-		// inconsistent-read model (iteration (9)). Atomic loads cost
-		// nothing on mainstream hardware and keep the execution free of
-		// data races; the NonAtomic ablation uses genuinely plain
-		// accesses, reproducing the paper's §9 experiment exactly.
-		var dot float64
-		if nonAtomic {
-			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-				dot += a.Vals[k] * x[a.ColIdx[k]]
+		m := int(top - base)
+		smp.fill(stream, base, picks[:m], worker)
+		for t := 0; t < m; t++ {
+			j := base + uint64(t)
+			if throttle != nil {
+				throttle(worker, j)
 			}
-		} else {
-			dot = a.RowDotAtomic(r, x)
-		}
-		gamma := (b[r] - dot) * s.invD[r]
-		if nonAtomic {
-			x[r] += beta * gamma
-		} else {
-			atomicfloat.Add(&x[r], beta*gamma)
-		}
-		if measure {
-			// Updates committed by others while this iteration ran bound
-			// the delay this iteration experienced: τ̂ ≥ committed − j.
-			var d uint64
-			if c := counter.Load(); c > j+1 {
-				d = c - j - 1
+			r := int(picks[t])
+			// Read phase: other workers may commit updates mid-read — the
+			// inconsistent-read model (iteration (9)). Atomic loads cost
+			// nothing on mainstream hardware and keep the execution free of
+			// data races; the NonAtomic ablation uses genuinely plain
+			// accesses, reproducing the paper's §9 experiment exactly.
+			var dot float64
+			if nonAtomic {
+				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+					dot += a.Vals[k] * x[a.ColIdx[k]]
+				}
+			} else {
+				dot = a.RowDotAtomic(r, x)
 			}
-			s.observeTau(d)
+			gamma := (b[r] - dot) * s.invD[r]
+			if nonAtomic {
+				x[r] += beta * gamma
+			} else {
+				atomicfloat.Add(&x[r], beta*gamma)
+			}
+			if measure {
+				// Updates committed by others while this iteration ran
+				// bound the delay this iteration experienced:
+				// τ̂ ≥ committed − j. Chunked claiming forces chunk = 1
+				// here (see chunkSize), so the counter still counts
+				// committed work.
+				var d uint64
+				if c := counter.Load(); c > j+1 {
+					d = c - j - 1
+				}
+				s.observeTau(d)
+			}
 		}
 	}
 }
@@ -222,6 +253,7 @@ func (s *Solver) AsyncSweepsDense(x, b *vec.Dense, sweeps int) {
 	run := func(lo, hi uint64) {
 		stream := rng.NewStream(s.opts.Seed)
 		smp := s.newSampler(true)
+		chunk := s.chunkSize(hi - lo)
 		var wg sync.WaitGroup
 		if s.opts.Partitioned && workers > 1 {
 			// Per-worker budgets for the same coverage reason as the
@@ -235,7 +267,7 @@ func (s *Solver) AsyncSweepsDense(x, b *vec.Dense, sweeps int) {
 					defer wg.Done()
 					var counter atomic.Uint64
 					counter.Store(wlo)
-					s.asyncWorkerDense(x, b, stream, smp, &counter, whi, w)
+					s.asyncWorkerDense(x, b, stream, smp, &counter, whi, w, chunk)
 				}(w, wlo, whi)
 			}
 			wg.Wait()
@@ -247,7 +279,7 @@ func (s *Solver) AsyncSweepsDense(x, b *vec.Dense, sweeps int) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				s.asyncWorkerDense(x, b, stream, smp, &counter, hi, w)
+				s.asyncWorkerDense(x, b, stream, smp, &counter, hi, w, chunk)
 			}(w)
 		}
 		wg.Wait()
@@ -267,7 +299,10 @@ func (s *Solver) AsyncSweepsDense(x, b *vec.Dense, sweeps int) {
 	s.sweep += sweeps
 }
 
-func (s *Solver) asyncWorkerDense(x, b *vec.Dense, stream rng.Stream, smp sampler, counter *atomic.Uint64, end uint64, worker int) {
+// asyncWorkerDense is asyncWorker for the row-major multi-RHS block:
+// chunked claiming and buffered direction generation around the block
+// update body.
+func (s *Solver) asyncWorkerDense(x, b *vec.Dense, stream rng.Stream, smp sampler, counter *atomic.Uint64, end uint64, worker, chunk int) {
 	c := x.Cols
 	a := s.a
 	beta := s.beta
@@ -275,51 +310,61 @@ func (s *Solver) asyncWorkerDense(x, b *vec.Dense, stream rng.Stream, smp sample
 	measure := s.opts.MeasureDelay
 	throttle := s.opts.Throttle
 	gamma := make([]float64, c)
+	picks := make([]int32, chunk)
 	for {
-		j := counter.Add(1) - 1
-		if j >= end {
+		base := counter.Add(uint64(chunk)) - uint64(chunk)
+		if base >= end {
 			return
 		}
-		if throttle != nil {
-			throttle(worker, j)
+		top := base + uint64(chunk)
+		if top > end {
+			top = end
 		}
-		r := smp.pick(stream, j, worker)
-		brow := b.Row(r)
-		copy(gamma, brow)
-		if nonAtomic {
-			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-				av := a.Vals[k]
-				xrow := x.Row(a.ColIdx[k])
-				for col := 0; col < c; col++ {
-					gamma[col] -= av * xrow[col]
+		m := int(top - base)
+		smp.fill(stream, base, picks[:m], worker)
+		for t := 0; t < m; t++ {
+			j := base + uint64(t)
+			if throttle != nil {
+				throttle(worker, j)
+			}
+			r := int(picks[t])
+			brow := b.Row(r)
+			copy(gamma, brow)
+			if nonAtomic {
+				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+					av := a.Vals[k]
+					xrow := x.Row(a.ColIdx[k])
+					for col := 0; col < c; col++ {
+						gamma[col] -= av * xrow[col]
+					}
+				}
+			} else {
+				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+					av := a.Vals[k]
+					xrow := x.Row(a.ColIdx[k])
+					for col := 0; col < c; col++ {
+						gamma[col] -= av * atomicfloat.Load(&xrow[col])
+					}
 				}
 			}
-		} else {
-			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-				av := a.Vals[k]
-				xrow := x.Row(a.ColIdx[k])
+			scale := beta * s.invD[r]
+			xrow := x.Row(r)
+			if nonAtomic {
 				for col := 0; col < c; col++ {
-					gamma[col] -= av * atomicfloat.Load(&xrow[col])
+					xrow[col] += scale * gamma[col]
+				}
+			} else {
+				for col := 0; col < c; col++ {
+					atomicfloat.Add(&xrow[col], scale*gamma[col])
 				}
 			}
-		}
-		scale := beta * s.invD[r]
-		xrow := x.Row(r)
-		if nonAtomic {
-			for col := 0; col < c; col++ {
-				xrow[col] += scale * gamma[col]
+			if measure {
+				var d uint64
+				if cnt := counter.Load(); cnt > j+1 {
+					d = cnt - j - 1
+				}
+				s.observeTau(d)
 			}
-		} else {
-			for col := 0; col < c; col++ {
-				atomicfloat.Add(&xrow[col], scale*gamma[col])
-			}
-		}
-		if measure {
-			var d uint64
-			if cnt := counter.Load(); cnt > j+1 {
-				d = cnt - j - 1
-			}
-			s.observeTau(d)
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"math"
 
+	"github.com/asynclinalg/asyrgs/internal/alias"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/theory"
 )
@@ -73,8 +74,25 @@ type Options struct {
 	// DiagonalWeighted samples coordinate r with probability A_rr/tr(A)
 	// instead of uniformly — the general Leventhal–Lewis distribution for
 	// non-unit-diagonal matrices. For unit-diagonal matrices it reduces
-	// to uniform sampling. Requires a strictly positive diagonal.
+	// to uniform sampling. Requires a strictly positive diagonal. The
+	// draw goes through an O(1) Walker/Vose alias table built once per
+	// prepared matrix; set WeightedCDF for the legacy binary search.
 	DiagonalWeighted bool
+
+	// WeightedCDF routes the DiagonalWeighted draw through the O(log n)
+	// binary search over the diagonal CDF instead of the alias table —
+	// the ablation baseline of the hotpath benchmark grid. Ignored
+	// without DiagonalWeighted.
+	WeightedCDF bool
+
+	// Chunk is the number of global iteration indices a worker claims
+	// from the shared counter at a time. One CAS per chunk instead of one
+	// per iteration takes the counter off the critical path; the claimed
+	// block's directions are generated into a local buffer in one pass.
+	// Zero auto-sizes from the budget and worker count. Forced to 1 when
+	// MeasureDelay is set (per-iteration claiming is what makes the delay
+	// bookkeeping meaningful).
+	Chunk int
 
 	// Partitioned restricts each asynchronous worker to its own
 	// contiguous block of ~n/P coordinates, making it the sole updater of
@@ -94,18 +112,24 @@ type Options struct {
 }
 
 // Solver holds an immutable matrix view plus solve options. A Solver is
-// safe for concurrent use by multiple goroutines only through separate
-// Solve/Sweeps calls on disjoint iterate storage.
+// not safe for concurrent Solve/Sweeps calls; fork one per in-flight
+// solve from a shared Prep (NewFromPrep), or recycle one with Reinit.
 type Solver struct {
-	a       *sparse.CSR
-	diag    []float64
-	invD    []float64 // 1/diag, hoisted out of the inner loop
-	diagCDF []float64 // cumulative A_rr/tr(A), for DiagonalWeighted
-	beta    float64
-	opts    Options
-	next    uint64 // global iteration index; advances across calls
-	tau     uint64 // max observed delay (if MeasureDelay)
-	sweep   int    // completed sweeps, for reporting
+	a         *sparse.CSR
+	diag      []float64
+	invD      []float64    // 1/diag, hoisted out of the inner loop
+	diagCDF   []float64    // cumulative A_rr/tr(A), for the WeightedCDF ablation
+	diagAlias *alias.Table // O(1) alias table for DiagonalWeighted
+	beta      float64
+	opts      Options
+	next      uint64 // global iteration index; advances across calls
+	tau       uint64 // max observed delay (if MeasureDelay)
+	sweep     int    // completed sweeps, for reporting
+	// Reusable scratch, lazily sized and retained across Reinit so a
+	// recycled Solver's warm Solve allocates nothing: direction-index
+	// buffer for the synchronous chunked fill, residual vector.
+	pickBuf    []int32
+	resScratch []float64
 	// delayHist[k] counts iterations whose observed delay fell in
 	// [2^(k-1), 2^k) (bucket 0 is delay 0); updated atomically.
 	delayHist [delayBuckets]uint64
@@ -194,7 +218,10 @@ type Result struct {
 // residual norm when ‖b‖₂ = 0).
 func (s *Solver) Residual(x, b []float64) float64 {
 	n := s.a.Rows
-	r := make([]float64, n)
+	if cap(s.resScratch) < n {
+		s.resScratch = make([]float64, n)
+	}
+	r := s.resScratch[:n]
 	s.a.MulVec(r, x)
 	var num, den float64
 	for i := range r {

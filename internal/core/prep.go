@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/asynclinalg/asyrgs/internal/alias"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 )
 
@@ -19,9 +20,11 @@ func PrepCount() uint64 { return prepCount.Load() }
 
 // Prep is the reusable per-matrix state of the core solver family: the
 // validated diagonal, its reciprocal (hoisted out of the inner loop), and
-// the lazily built diagonal-weighted sampling CDF. A Prep is immutable
-// after construction and safe for concurrent use; any number of Solvers
-// can be forked from it with NewFromPrep without re-running setup.
+// the lazily built diagonal-weighted sampling structures — the O(1)
+// Walker/Vose alias table plus the legacy CDF kept for the ablation
+// path. A Prep is immutable after construction and safe for concurrent
+// use; any number of Solvers can be forked from it with NewFromPrep
+// without re-running setup.
 type Prep struct {
 	a    *sparse.CSR
 	diag []float64
@@ -30,6 +33,10 @@ type Prep struct {
 	cdfOnce sync.Once
 	diagCDF []float64
 	cdfErr  error
+
+	aliasOnce sync.Once
+	diagAlias *alias.Table
+	aliasErr  error
 }
 
 // PrepareMatrix validates the matrix (square, non-zero diagonal) and
@@ -54,19 +61,28 @@ func PrepareMatrix(a *sparse.CSR) (*Prep, error) {
 // Matrix returns the prepared matrix (shared, do not mutate).
 func (p *Prep) Matrix() *sparse.CSR { return p.a }
 
-// weightedCDF returns the cumulative A_rr/tr(A) distribution for
-// diagonal-weighted sampling, building and validating it on first use.
+// weightedCDF returns the cumulative A_rr/tr(A) distribution for the
+// WeightedCDF ablation, building and validating it on first use.
 func (p *Prep) weightedCDF() ([]float64, error) {
 	p.cdfOnce.Do(func() {
-		for i, d := range p.diag {
-			if d <= 0 {
-				p.cdfErr = fmt.Errorf("core: diagonal-weighted sampling needs a positive diagonal, row %d has %g", i, d)
-				return
-			}
-		}
-		p.diagCDF = newWeightedSampler(p.diag).cdf
+		p.diagCDF, p.cdfErr = newWeightedCDF(p.diag)
 	})
 	return p.diagCDF, p.cdfErr
+}
+
+// weightedAlias returns the O(1) alias table over A_rr/tr(A), building
+// and validating it on first use. Construction is O(n), paid once per
+// prepared matrix — which is what lets a serving deployment's prep cache
+// amortize it across every warm diagonal-weighted solve.
+func (p *Prep) weightedAlias() (*alias.Table, error) {
+	p.aliasOnce.Do(func() {
+		if err := validateWeights(p.diag); err != nil {
+			p.aliasErr = err
+			return
+		}
+		p.diagAlias, p.aliasErr = alias.New(p.diag)
+	})
+	return p.diagAlias, p.aliasErr
 }
 
 // NewFromPrep forks a Solver from prepared per-matrix state. It performs
@@ -74,23 +90,48 @@ func (p *Prep) weightedCDF() ([]float64, error) {
 // call once per solve, giving each solve a fresh direction stream and
 // delay statistics over the shared immutable Prep.
 func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
+	s := &Solver{}
+	if err := s.Reinit(p, opts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reinit points an existing Solver at prepared per-matrix state,
+// resetting its direction stream and delay statistics while keeping its
+// scratch buffers. Pools use it to recycle Solvers across warm solves so
+// the prepared request path allocates nothing.
+func (s *Solver) Reinit(p *Prep, opts Options) error {
 	beta := opts.Beta
 	if beta == 0 {
 		beta = 1
 	}
 	if beta <= 0 || beta >= 2 {
-		return nil, fmt.Errorf("core: step size β=%g outside (0,2)", beta)
+		return fmt.Errorf("core: step size β=%g outside (0,2)", beta)
 	}
 	if opts.Workers < 0 {
-		return nil, fmt.Errorf("core: negative worker count %d", opts.Workers)
+		return fmt.Errorf("core: negative worker count %d", opts.Workers)
 	}
-	s := &Solver{a: p.a, diag: p.diag, invD: p.invD, beta: beta, opts: opts}
+	if opts.Chunk < 0 {
+		return fmt.Errorf("core: negative claiming chunk %d", opts.Chunk)
+	}
+	s.a, s.diag, s.invD = p.a, p.diag, p.invD
+	s.beta, s.opts = beta, opts
+	s.diagCDF, s.diagAlias = nil, nil
+	s.Reset()
 	if opts.DiagonalWeighted {
-		cdf, err := p.weightedCDF()
+		tab, err := p.weightedAlias()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s.diagCDF = cdf
+		s.diagAlias = tab
+		if opts.WeightedCDF {
+			cdf, err := p.weightedCDF()
+			if err != nil {
+				return err
+			}
+			s.diagCDF = cdf
+		}
 	}
-	return s, nil
+	return nil
 }

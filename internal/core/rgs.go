@@ -7,6 +7,22 @@ import (
 	"github.com/asynclinalg/asyrgs/internal/vec"
 )
 
+// seqFillChunk is the direction-buffer block size of the synchronous
+// paths. It only amortizes generator and dispatch overhead — the
+// direction at index j is a pure function of (seed, j), so the sequence
+// is independent of the block size.
+const seqFillChunk = 512
+
+// seqPicks returns the solver's reusable direction buffer, lazily sized.
+// Retained across Reinit so a recycled Solver's warm solve allocates
+// nothing. Synchronous paths only (one goroutine).
+func (s *Solver) seqPicks() []int32 {
+	if cap(s.pickBuf) < seqFillChunk {
+		s.pickBuf = make([]int32, seqFillChunk)
+	}
+	return s.pickBuf[:seqFillChunk]
+}
+
 // Sweeps runs sweeps·n synchronous Randomized Gauss–Seidel iterations on x
 // for the system A·x = b, continuing the solver's direction stream. One
 // sweep (n single-coordinate updates) costs Θ(nnz(A)) — the same as one
@@ -18,13 +34,22 @@ func (s *Solver) Sweeps(x, b []float64, sweeps int) {
 	}
 	stream := rng.NewStream(s.opts.Seed)
 	smp := s.newSampler(false)
-	total := uint64(sweeps) * uint64(n)
-	for j := s.next; j < s.next+total; j++ {
-		r := smp.pick(stream, j, 0)
-		gamma := (b[r] - s.a.RowDot(r, x)) * s.invD[r]
-		x[r] += s.beta * gamma
+	picks := s.seqPicks()
+	end := s.next + uint64(sweeps)*uint64(n)
+	for base := s.next; base < end; {
+		m := len(picks)
+		if rem := end - base; rem < uint64(m) {
+			m = int(rem)
+		}
+		smp.fill(stream, base, picks[:m], 0)
+		for t := 0; t < m; t++ {
+			r := int(picks[t])
+			gamma := (b[r] - s.a.RowDot(r, x)) * s.invD[r]
+			x[r] += s.beta * gamma
+		}
+		base += uint64(m)
 	}
-	s.next += total
+	s.next = end
 	s.sweep += sweeps
 }
 
@@ -41,27 +66,36 @@ func (s *Solver) SweepsDense(x, b *vec.Dense, sweeps int) {
 	stream := rng.NewStream(s.opts.Seed)
 	smp := s.newSampler(false)
 	gamma := make([]float64, c)
-	total := uint64(sweeps) * uint64(n)
-	for j := s.next; j < s.next+total; j++ {
-		r := smp.pick(stream, j, 0)
-		brow := b.Row(r)
-		for col := 0; col < c; col++ {
-			gamma[col] = brow[col]
+	picks := s.seqPicks()
+	end := s.next + uint64(sweeps)*uint64(n)
+	for base := s.next; base < end; {
+		m := len(picks)
+		if rem := end - base; rem < uint64(m) {
+			m = int(rem)
 		}
-		for k := s.a.RowPtr[r]; k < s.a.RowPtr[r+1]; k++ {
-			av := s.a.Vals[k]
-			xrow := x.Row(s.a.ColIdx[k])
+		smp.fill(stream, base, picks[:m], 0)
+		for t := 0; t < m; t++ {
+			r := int(picks[t])
+			brow := b.Row(r)
 			for col := 0; col < c; col++ {
-				gamma[col] -= av * xrow[col]
+				gamma[col] = brow[col]
+			}
+			for k := s.a.RowPtr[r]; k < s.a.RowPtr[r+1]; k++ {
+				av := s.a.Vals[k]
+				xrow := x.Row(s.a.ColIdx[k])
+				for col := 0; col < c; col++ {
+					gamma[col] -= av * xrow[col]
+				}
+			}
+			scale := s.beta * s.invD[r]
+			xrow := x.Row(r)
+			for col := 0; col < c; col++ {
+				xrow[col] += scale * gamma[col]
 			}
 		}
-		scale := s.beta * s.invD[r]
-		xrow := x.Row(r)
-		for col := 0; col < c; col++ {
-			xrow[col] += scale * gamma[col]
-		}
+		base += uint64(m)
 	}
-	s.next += total
+	s.next = end
 	s.sweep += sweeps
 }
 

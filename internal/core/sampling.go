@@ -1,36 +1,136 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sort"
 
+	"github.com/asynclinalg/asyrgs/internal/alias"
+	"github.com/asynclinalg/asyrgs/internal/claim"
 	"github.com/asynclinalg/asyrgs/internal/rng"
 )
 
-// sampler maps a global iteration index to the coordinate updated at that
-// iteration. All implementations are pure functions of (stream, index), so
-// every worker agrees on the direction sequence without coordination.
-type sampler interface {
-	// pick returns the coordinate for global iteration j when executed by
-	// the given worker (worker matters only for partitioned sampling).
-	pick(stream rng.Stream, j uint64, worker int) int
+// samplerKind enumerates the direction distributions of the inner loop.
+type samplerKind uint8
+
+const (
+	// samplerUniform draws uniformly over all n coordinates — the
+	// paper's headline distribution.
+	samplerUniform samplerKind = iota
+	// samplerWeightedAlias draws coordinate r with probability
+	// A_rr/tr(A) (the general Leventhal–Lewis distribution) through a
+	// Walker/Vose alias table: O(1) per pick.
+	samplerWeightedAlias
+	// samplerWeightedCDF is the same distribution through the legacy
+	// O(log n) binary search over the diagonal CDF, kept as the ablation
+	// baseline for the hotpath benchmark grid.
+	samplerWeightedCDF
+	// samplerPartitioned gives worker w exclusive ownership of the
+	// contiguous block [w·n/P, (w+1)·n/P) and draws uniformly within it —
+	// the restricted randomization of the paper's distributed-memory
+	// discussion. With equal blocks and workers drawing at the same rate
+	// the marginal stays uniform; what changes is that no coordinate is
+	// ever contended.
+	samplerPartitioned
+)
+
+// sampler maps a global iteration index to the coordinate updated at
+// that iteration. Every mode is a pure function of (stream, index) —
+// plus the worker id in partitioned mode, where ownership is part of the
+// contract — so all workers agree on the direction sequence without
+// coordination. It is a concrete struct rather than an interface so the
+// hot loop pays no dynamic dispatch and building one allocates nothing.
+type sampler struct {
+	kind    samplerKind
+	n       int
+	workers int
+	tab     *alias.Table // samplerWeightedAlias
+	cdf     []float64    // samplerWeightedCDF
 }
 
-// uniformSampler draws uniformly over all n coordinates — the paper's
-// headline distribution.
-type uniformSampler struct{ n int }
-
-func (s uniformSampler) pick(stream rng.Stream, j uint64, _ int) int {
-	return stream.IntnAt(j, s.n)
+// pick returns the coordinate for global iteration j when executed by
+// the given worker (worker matters only for partitioned sampling).
+func (s sampler) pick(stream rng.Stream, j uint64, worker int) int {
+	switch s.kind {
+	case samplerWeightedAlias:
+		return s.tab.Pick(stream, j)
+	case samplerWeightedCDF:
+		u := stream.Float64At(j)
+		r := sort.SearchFloat64s(s.cdf, u)
+		if r >= len(s.cdf) {
+			r = len(s.cdf) - 1
+		}
+		return r
+	case samplerPartitioned:
+		lo, hi := s.block(worker)
+		return lo + stream.IntnAt(j, hi-lo)
+	default:
+		return stream.IntnAt(j, s.n)
+	}
 }
 
-// weightedSampler draws coordinate r with probability A_rr/tr(A), the
-// general Leventhal–Lewis distribution. Selection is by binary search on
-// the diagonal CDF, so it stays a pure function of (stream, j).
-type weightedSampler struct {
-	cdf []float64 // cdf[r] = Σ_{i≤r} A_ii / tr(A)
+// fill maps global iterations [base, base+len(dst)) to coordinates in
+// one pass — the chunked-claiming fast path. The distribution switch is
+// hoisted out of the loop and each mode consumes its Philox blocks in a
+// tight scan, so a worker that claimed a chunk touches the generator
+// machinery once per index with no dispatch. fill(base, dst)[t] equals
+// pick(base+t) exactly, for every chunk partitioning.
+func (s sampler) fill(stream rng.Stream, base uint64, dst []int32, worker int) {
+	switch s.kind {
+	case samplerWeightedAlias:
+		tab := s.tab
+		for t := range dst {
+			u1, u2 := stream.Uint64PairAt(base + uint64(t))
+			dst[t] = int32(tab.PickUints(u1, u2))
+		}
+	case samplerWeightedCDF:
+		cdf := s.cdf
+		for t := range dst {
+			u := stream.Float64At(base + uint64(t))
+			r := sort.SearchFloat64s(cdf, u)
+			if r >= len(cdf) {
+				r = len(cdf) - 1
+			}
+			dst[t] = int32(r)
+		}
+	case samplerPartitioned:
+		lo, hi := s.block(worker)
+		for t := range dst {
+			dst[t] = int32(lo + stream.IntnAt(base+uint64(t), hi-lo))
+		}
+	default:
+		n := s.n
+		for t := range dst {
+			dst[t] = int32(stream.IntnAt(base+uint64(t), n))
+		}
+	}
 }
 
-func newWeightedSampler(diag []float64) weightedSampler {
+// block returns worker w's owned coordinate range in partitioned mode.
+func (s sampler) block(worker int) (lo, hi int) {
+	if s.workers <= 1 {
+		return 0, s.n
+	}
+	lo = worker * s.n / s.workers
+	hi = (worker + 1) * s.n / s.workers
+	if hi <= lo {
+		// More workers than rows: clamp to a singleton block.
+		lo = worker % s.n
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// newWeightedCDF builds the cumulative A_rr/tr(A) distribution for the
+// CDF ablation path, validating the diagonal the same way the alias
+// builder does: entries must be finite and positive (a zero or negative
+// diagonal entry, or a non-positive trace, cannot define the
+// Leventhal–Lewis distribution and used to produce a silently broken
+// CDF).
+func newWeightedCDF(diag []float64) ([]float64, error) {
+	if err := validateWeights(diag); err != nil {
+		return nil, err
+	}
 	cdf := make([]float64, len(diag))
 	var total float64
 	for i, d := range diag {
@@ -40,52 +140,50 @@ func newWeightedSampler(diag []float64) weightedSampler {
 	for i := range cdf {
 		cdf[i] /= total
 	}
-	return weightedSampler{cdf: cdf}
+	return cdf, nil
 }
 
-func (s weightedSampler) pick(stream rng.Stream, j uint64, _ int) int {
-	u := stream.Float64At(j)
-	r := sort.SearchFloat64s(s.cdf, u)
-	if r >= len(s.cdf) {
-		r = len(s.cdf) - 1
+// validateWeights enforces the diagonal-weighted sampling contract.
+func validateWeights(diag []float64) error {
+	if len(diag) == 0 {
+		return fmt.Errorf("core: diagonal-weighted sampling needs a non-empty diagonal")
 	}
-	return r
-}
-
-// partitionedSampler gives worker w exclusive ownership of the contiguous
-// block [w·n/P, (w+1)·n/P) and draws uniformly within it — the restricted
-// randomization of the paper's distributed-memory discussion. With equal
-// blocks and workers drawing at the same rate, the marginal distribution
-// over coordinates remains uniform; what changes is that no coordinate is
-// ever contended.
-type partitionedSampler struct {
-	n, workers int
-}
-
-func (s partitionedSampler) pick(stream rng.Stream, j uint64, worker int) int {
-	if s.workers <= 1 {
-		return stream.IntnAt(j, s.n)
+	for i, d := range diag {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("core: diagonal-weighted sampling needs a finite diagonal, row %d has %g", i, d)
+		}
+		if d <= 0 {
+			return fmt.Errorf("core: diagonal-weighted sampling needs a positive diagonal, row %d has %g", i, d)
+		}
 	}
-	lo := worker * s.n / s.workers
-	hi := (worker + 1) * s.n / s.workers
-	if hi <= lo {
-		// More workers than rows: clamp to a singleton block.
-		lo = worker % s.n
-		hi = lo + 1
-	}
-	return lo + stream.IntnAt(j, hi-lo)
+	return nil
 }
 
-// newSampler selects the sampler implied by the options. Partitioned takes
-// precedence for the asynchronous path; the synchronous path (one worker)
-// treats partitioned as uniform, which is the P = 1 special case.
+// newSampler selects the sampler implied by the options. Partitioned
+// takes precedence for the asynchronous path; the synchronous path (one
+// worker) treats partitioned as uniform, which is the P = 1 special
+// case. The weighted distribution picks through the alias table unless
+// the WeightedCDF ablation asks for the legacy binary search.
 func (s *Solver) newSampler(async bool) sampler {
 	switch {
 	case s.opts.Partitioned && async && s.opts.Workers > 1:
-		return partitionedSampler{n: s.a.Rows, workers: s.opts.Workers}
+		return sampler{kind: samplerPartitioned, n: s.a.Rows, workers: s.opts.Workers}
+	case s.opts.DiagonalWeighted && s.opts.WeightedCDF:
+		return sampler{kind: samplerWeightedCDF, cdf: s.diagCDF}
 	case s.opts.DiagonalWeighted:
-		return weightedSampler{cdf: s.diagCDF}
+		return sampler{kind: samplerWeightedAlias, tab: s.diagAlias}
 	default:
-		return uniformSampler{n: s.a.Rows}
+		return sampler{kind: samplerUniform, n: s.a.Rows}
 	}
+}
+
+// chunkSize resolves the iteration-claiming granularity (see
+// claim.Size). Delay measurement claims one iteration at a time: its
+// committed-counter bookkeeping is only meaningful when a claimed index
+// is executed immediately.
+func (s *Solver) chunkSize(total uint64) int {
+	if s.opts.MeasureDelay {
+		return 1
+	}
+	return claim.Size(s.opts.Chunk, total, s.opts.Workers)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/asynclinalg/asyrgs/internal/alias"
 	"github.com/asynclinalg/asyrgs/internal/dense"
 	"github.com/asynclinalg/asyrgs/internal/race"
 	"github.com/asynclinalg/asyrgs/internal/rng"
@@ -17,23 +18,42 @@ import (
 
 // --- diagonal-weighted sampling ---
 
-func TestWeightedSamplerDistribution(t *testing.T) {
-	// Diagonal (1, 3): coordinate 1 must be drawn ≈ 3× as often.
-	smp := newWeightedSampler([]float64{1, 3})
-	stream := rng.NewStream(1)
-	counts := [2]int{}
-	const draws = 100_000
-	for j := uint64(0); j < draws; j++ {
-		counts[smp.pick(stream, j, 0)]++
+// weightedSamplers builds both implementations of the diagonal-weighted
+// draw — the O(1) alias table and the O(log n) CDF ablation — for a
+// diagonal, failing the test on invalid input.
+func weightedSamplers(t *testing.T, diag []float64) (aliasSmp, cdfSmp sampler) {
+	t.Helper()
+	tab, err := alias.New(diag)
+	if err != nil {
+		t.Fatal(err)
 	}
-	frac := float64(counts[1]) / draws
-	if math.Abs(frac-0.75) > 0.01 {
-		t.Fatalf("coordinate 1 drawn %.3f of the time, want ≈ 0.75", frac)
+	cdf, err := newWeightedCDF(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sampler{kind: samplerWeightedAlias, tab: tab}, sampler{kind: samplerWeightedCDF, cdf: cdf}
+}
+
+func TestWeightedSamplerDistribution(t *testing.T) {
+	// Diagonal (1, 3): coordinate 1 must be drawn ≈ 3× as often, by both
+	// the alias and the CDF implementation.
+	aliasSmp, cdfSmp := weightedSamplers(t, []float64{1, 3})
+	stream := rng.NewStream(1)
+	for name, smp := range map[string]sampler{"alias": aliasSmp, "cdf": cdfSmp} {
+		counts := [2]int{}
+		const draws = 100_000
+		for j := uint64(0); j < draws; j++ {
+			counts[smp.pick(stream, j, 0)]++
+		}
+		frac := float64(counts[1]) / draws
+		if math.Abs(frac-0.75) > 0.01 {
+			t.Fatalf("%s: coordinate 1 drawn %.3f of the time, want ≈ 0.75", name, frac)
+		}
 	}
 }
 
 func TestWeightedSamplerUnitDiagonalIsUniform(t *testing.T) {
-	smp := newWeightedSampler([]float64{1, 1, 1, 1})
+	smp, _ := weightedSamplers(t, []float64{1, 1, 1, 1})
 	stream := rng.NewStream(2)
 	counts := [4]int{}
 	const draws = 80_000
@@ -44,6 +64,45 @@ func TestWeightedSamplerUnitDiagonalIsUniform(t *testing.T) {
 		if math.Abs(float64(c)/draws-0.25) > 0.01 {
 			t.Fatalf("bucket %d has fraction %.3f, want ≈ 0.25", i, float64(c)/draws)
 		}
+	}
+}
+
+// TestAliasVsCDFMarginalEquivalence draws a large budget through both
+// weighted implementations over a skewed diagonal and checks the
+// empirical marginals agree within sampling noise: swapping the binary
+// search for the alias table must not change the distribution.
+func TestAliasVsCDFMarginalEquivalence(t *testing.T) {
+	diag := []float64{4, 1, 0.5, 9, 2, 2, 6, 0.25}
+	aliasSmp, cdfSmp := weightedSamplers(t, diag)
+	stream := rng.NewStream(77)
+	const draws = 200_000
+	var aliasCounts, cdfCounts [8]float64
+	for j := uint64(0); j < draws; j++ {
+		aliasCounts[aliasSmp.pick(stream, j, 0)]++
+		cdfCounts[cdfSmp.pick(stream, j, 0)]++
+	}
+	for i := range diag {
+		fa := aliasCounts[i] / draws
+		fc := cdfCounts[i] / draws
+		if math.Abs(fa-fc) > 6e-3 {
+			t.Fatalf("coordinate %d: alias marginal %.4f vs CDF marginal %.4f", i, fa, fc)
+		}
+	}
+}
+
+func TestWeightedCDFValidation(t *testing.T) {
+	for name, diag := range map[string][]float64{
+		"empty":    {},
+		"zero":     {1, 0, 2},
+		"negative": {1, -3},
+		"nan":      {1, math.NaN()},
+	} {
+		if _, err := newWeightedCDF(diag); err == nil {
+			t.Fatalf("%s diagonal must be rejected", name)
+		}
+	}
+	if _, err := newWeightedCDF([]float64{1, 2, 3}); err != nil {
+		t.Fatalf("valid diagonal rejected: %v", err)
 	}
 }
 
@@ -92,7 +151,7 @@ func TestDiagonalWeightedRejectsNonPositiveDiagonal(t *testing.T) {
 // --- partitioned (block-restricted) sampling ---
 
 func TestPartitionedSamplerStaysInBlock(t *testing.T) {
-	smp := partitionedSampler{n: 100, workers: 4}
+	smp := sampler{kind: samplerPartitioned, n: 100, workers: 4}
 	stream := rng.NewStream(3)
 	for w := 0; w < 4; w++ {
 		lo, hi := w*25, (w+1)*25
@@ -106,7 +165,7 @@ func TestPartitionedSamplerStaysInBlock(t *testing.T) {
 }
 
 func TestPartitionedSamplerMoreWorkersThanRows(t *testing.T) {
-	smp := partitionedSampler{n: 3, workers: 8}
+	smp := sampler{kind: samplerPartitioned, n: 3, workers: 8}
 	stream := rng.NewStream(4)
 	for w := 0; w < 8; w++ {
 		r := smp.pick(stream, uint64(w), w)

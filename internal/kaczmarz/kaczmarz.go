@@ -8,12 +8,15 @@ package kaczmarz
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"github.com/asynclinalg/asyrgs/internal/alias"
 	"github.com/asynclinalg/asyrgs/internal/atomicfloat"
+	"github.com/asynclinalg/asyrgs/internal/claim"
 	"github.com/asynclinalg/asyrgs/internal/rng"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/vec"
@@ -34,13 +37,23 @@ type Options struct {
 	// Uniform selects rows uniformly instead of the Strohmer–Vershynin
 	// ‖A_i‖² distribution.
 	Uniform bool
+	// WeightedCDF routes the norm-weighted draw through the legacy
+	// O(log n) binary search over the row-norm CDF instead of the O(1)
+	// alias table — the ablation baseline of the hotpath benchmark grid.
+	WeightedCDF bool
+	// Chunk is the number of iteration indices an asynchronous worker
+	// claims from the shared counter at a time; zero auto-sizes from the
+	// budget and worker count. Row selection stays a pure function of
+	// (seed, j), so the chunk size never changes the projection multiset.
+	Chunk int
 }
 
 // Solver holds the matrix and the row-sampling distribution.
 type Solver struct {
 	a        *sparse.CSR
-	rowNorm2 []float64 // ‖A_i‖²
-	cdf      []float64 // cumulative ‖A_i‖²/‖A‖_F² for norm-weighted sampling
+	rowNorm2 []float64    // ‖A_i‖²
+	cdf      []float64    // cumulative ‖A_i‖²/‖A‖_F², for the CDF ablation
+	tab      *alias.Table // O(1) norm-weighted row draw
 	opts     Options
 	beta     float64
 	next     uint64
@@ -55,13 +68,15 @@ var prepCount atomic.Uint64
 func PrepCount() uint64 { return prepCount.Load() }
 
 // Prep is the reusable per-matrix state of the Kaczmarz solvers: the row
-// norms ‖A_i‖² and the Strohmer–Vershynin sampling CDF. Immutable after
+// norms ‖A_i‖², the Strohmer–Vershynin sampling CDF (ablation path) and
+// the O(1) alias table the hot loop draws through. Immutable after
 // construction and safe for concurrent use; fork Solvers from it with
 // NewFromPrep.
 type Prep struct {
 	a        *sparse.CSR
 	rowNorm2 []float64
 	cdf      []float64
+	tab      *alias.Table
 }
 
 // PrepareMatrix computes the row norms and the norm-weighted sampling
@@ -91,6 +106,15 @@ func PrepareMatrix(a *sparse.CSR) (*Prep, error) {
 	for i := range p.cdf {
 		p.cdf[i] /= total
 	}
+	// The alias table makes the norm-weighted draw O(1); squared norms
+	// are non-negative and total > 0 was just checked, but the builder
+	// re-validates (non-finite entries from overflowing rows surface
+	// here with a clear error instead of a silently broken table).
+	tab, err := alias.New(p.rowNorm2)
+	if err != nil {
+		return nil, fmt.Errorf("kaczmarz: building row-sampling table: %w", err)
+	}
+	p.tab = tab
 	return p, nil
 }
 
@@ -107,7 +131,10 @@ func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
 	if beta <= 0 || beta >= 2 {
 		return nil, errors.New("kaczmarz: step size outside (0,2)")
 	}
-	return &Solver{a: p.a, rowNorm2: p.rowNorm2, cdf: p.cdf, opts: opts, beta: beta}, nil
+	if opts.Chunk < 0 {
+		return nil, errors.New("kaczmarz: negative claiming chunk")
+	}
+	return &Solver{a: p.a, rowNorm2: p.rowNorm2, cdf: p.cdf, tab: p.tab, opts: opts, beta: beta}, nil
 }
 
 // New validates and prepares a solver for A·x = b. Rows with zero norm are
@@ -123,7 +150,10 @@ func New(a *sparse.CSR, opts Options) (*Solver, error) {
 
 // pickRow maps iteration index j to a row according to the configured
 // distribution; it skips zero rows under uniform sampling by rejection
-// against consecutive sub-indices.
+// against consecutive sub-indices. The norm-weighted draw goes through
+// the O(1) alias table (a zero-norm row has zero weight and is never
+// drawn); WeightedCDF keeps the legacy binary search for ablations.
+// Either way the row is a pure function of (seed, j).
 func (s *Solver) pickRow(stream rng.Stream, j uint64) int {
 	if s.opts.Uniform {
 		for sub := uint64(0); ; sub++ {
@@ -133,8 +163,11 @@ func (s *Solver) pickRow(stream rng.Stream, j uint64) int {
 			}
 		}
 	}
-	u := stream.Float64At(j)
-	return sort.SearchFloat64s(s.cdf, u)
+	if s.opts.WeightedCDF {
+		u := stream.Float64At(j)
+		return sort.SearchFloat64s(s.cdf, u)
+	}
+	return s.tab.Pick(stream, j)
 }
 
 // step performs one Kaczmarz projection for row i on iterate x, reading
@@ -168,6 +201,9 @@ func (s *Solver) Iterations(x, b []float64, m int) float64 {
 			s.step(x, b, i, false, func(idx int, delta float64) { x[idx] += delta })
 		}
 	} else {
+		// Chunked claiming: one CAS per chunk of indices instead of one
+		// per projection takes the shared counter off the critical path.
+		chunk := s.chunkSize(end - start)
 		var counter atomic.Uint64
 		counter.Store(start)
 		var wg sync.WaitGroup
@@ -176,14 +212,20 @@ func (s *Solver) Iterations(x, b []float64, m int) float64 {
 			go func() {
 				defer wg.Done()
 				for {
-					j := counter.Add(1) - 1
-					if j >= end {
+					base := counter.Add(uint64(chunk)) - uint64(chunk)
+					if base >= end {
 						return
 					}
-					i := s.pickRow(stream, j)
-					s.step(x, b, i, true, func(idx int, delta float64) {
-						atomicfloat.Add(&x[idx], delta)
-					})
+					top := base + uint64(chunk)
+					if top > end {
+						top = end
+					}
+					for j := base; j < top; j++ {
+						i := s.pickRow(stream, j)
+						s.step(x, b, i, true, func(idx int, delta float64) {
+							atomicfloat.Add(&x[idx], delta)
+						})
+					}
 				}
 			}()
 		}
@@ -191,6 +233,11 @@ func (s *Solver) Iterations(x, b []float64, m int) float64 {
 	}
 	s.next = end
 	return s.Residual(x, b)
+}
+
+// chunkSize resolves the claiming granularity (see claim.Size).
+func (s *Solver) chunkSize(total uint64) int {
+	return claim.Size(s.opts.Chunk, total, s.opts.Workers)
 }
 
 // Solve iterates until the relative residual reaches tol or maxIter

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/asynclinalg/asyrgs/internal/dense"
+	"github.com/asynclinalg/asyrgs/internal/rng"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/vec"
 	"github.com/asynclinalg/asyrgs/internal/workload"
@@ -163,5 +164,58 @@ func TestDirectSolveAgreement(t *testing.T) {
 	}
 	if e := vec.RelErr(x, want); e > 1e-8 {
 		t.Fatalf("Kaczmarz vs direct: %v", e)
+	}
+}
+
+// TestAliasVsCDFRowMarginals checks that the O(1) alias draw and the
+// legacy binary-search CDF draw select rows with the same marginal
+// distribution over a large budget.
+func TestAliasVsCDFRowMarginals(t *testing.T) {
+	a := workload.RandomSPD(12, 4, 1.5, 60)
+	sAlias, err := New(a, Options{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCDF, err := New(a, Options{Seed: 61, WeightedCDF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := rng.NewStream(61)
+	const draws = 200_000
+	aliasCounts := make([]float64, a.Rows)
+	cdfCounts := make([]float64, a.Rows)
+	for j := uint64(0); j < draws; j++ {
+		aliasCounts[sAlias.pickRow(stream, j)]++
+		cdfCounts[sCDF.pickRow(stream, j)]++
+	}
+	for i := 0; i < a.Rows; i++ {
+		if math.Abs(aliasCounts[i]-cdfCounts[i])/draws > 6e-3 {
+			t.Fatalf("row %d: alias marginal %.4f vs CDF marginal %.4f",
+				i, aliasCounts[i]/draws, cdfCounts[i]/draws)
+		}
+	}
+}
+
+// TestChunkedAsyncConverges runs the asynchronous variant at explicit
+// claiming granularities; the projection multiset is chunk-invariant so
+// every configuration must converge.
+func TestChunkedAsyncConverges(t *testing.T) {
+	a := workload.RandomSPD(60, 5, 1.5, 62)
+	b, xstar := workload.RHSForSolution(a, 63)
+	for _, chunk := range []int{0, 1, 64, 100000} {
+		s, err := New(a, Options{Seed: 64, Workers: 4, Chunk: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, 60)
+		if _, res, err := s.Solve(x, b, 1e-8, 400000, 5000); err != nil {
+			t.Fatalf("chunk=%d did not converge: residual %g", chunk, res)
+		}
+		if e := vec.RelErr(x, xstar); e > 1e-6 {
+			t.Fatalf("chunk=%d solution error %g", chunk, e)
+		}
+	}
+	if _, err := New(a, Options{Chunk: -2}); err == nil {
+		t.Fatal("negative chunk must be rejected")
 	}
 }

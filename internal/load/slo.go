@@ -1,0 +1,69 @@
+package load
+
+// The SLO gate: CI's load-smoke step compares a fresh load run against
+// the committed BENCH_serve.json baseline and fails when tail latency or
+// the error rate regress beyond a configurable band. Latency on shared
+// CI runners is noisy, so the p99 bound is a multiplicative factor meant
+// to catch order-of-magnitude regressions (a serialization point, an
+// accidental O(n) in the request path), while the error-rate band is an
+// absolute additive bound — errors should not be noisy at all.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// SLO bounds a load Report against a baseline Report.
+type SLO struct {
+	// P99Factor fails the check when the run's p99 latency exceeds
+	// P99Factor × the baseline's p99. Zero or negative disables the
+	// latency gate.
+	P99Factor float64
+	// ErrorBand fails the check when the run's error rate exceeds the
+	// baseline's by more than this absolute amount. Negative disables
+	// the error gate.
+	ErrorBand float64
+}
+
+// ErrSLO marks a gate violation so drivers can map it to a distinct
+// exit code.
+var ErrSLO = errors.New("load: SLO violated")
+
+// ReadBaseline loads a committed BENCH_serve.json report.
+func ReadBaseline(path string) (Report, error) {
+	var rep Report
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("load: parsing baseline %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Check compares a run against the baseline and returns an ErrSLO-
+// wrapped error describing every violated bound, or nil. A baseline or
+// run with no latency data (p99 = 0) skips the latency gate rather than
+// dividing by zero.
+func (s SLO) Check(rep, baseline Report) error {
+	var violations []string
+	if s.P99Factor > 0 && baseline.P99US > 0 && rep.P99US > s.P99Factor*baseline.P99US {
+		violations = append(violations, fmt.Sprintf(
+			"p99 %.0fµs exceeds %.1f× the baseline's %.0fµs",
+			rep.P99US, s.P99Factor, baseline.P99US))
+	}
+	if s.ErrorBand >= 0 && rep.ErrorRate > baseline.ErrorRate+s.ErrorBand {
+		violations = append(violations, fmt.Sprintf(
+			"error rate %.3f exceeds the baseline's %.3f by more than %.3f",
+			rep.ErrorRate, baseline.ErrorRate, s.ErrorBand))
+	}
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrSLO, strings.Join(violations, "; "))
+}

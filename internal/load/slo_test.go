@@ -1,0 +1,64 @@
+package load
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSLOCheck(t *testing.T) {
+	baseline := Report{P99US: 1000, ErrorRate: 0.01}
+	slo := SLO{P99Factor: 3, ErrorBand: 0.05}
+
+	if err := slo.Check(Report{P99US: 2500, ErrorRate: 0.05}, baseline); err != nil {
+		t.Fatalf("within bounds must pass: %v", err)
+	}
+	if err := slo.Check(Report{P99US: 3500, ErrorRate: 0}, baseline); !errors.Is(err, ErrSLO) {
+		t.Fatalf("p99 regression must violate the SLO, got %v", err)
+	}
+	if err := slo.Check(Report{P99US: 100, ErrorRate: 0.2}, baseline); !errors.Is(err, ErrSLO) {
+		t.Fatalf("error-rate regression must violate the SLO, got %v", err)
+	}
+	// Both bounds violated: the message names both.
+	err := slo.Check(Report{P99US: 9000, ErrorRate: 0.9}, baseline)
+	if !errors.Is(err, ErrSLO) {
+		t.Fatal("double violation must fail")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "p99") || !strings.Contains(msg, "error rate") {
+		t.Fatalf("violation message incomplete: %s", msg)
+	}
+
+	// Disabled gates never fire; a zero-latency baseline skips the
+	// latency gate instead of dividing by zero.
+	if err := (SLO{P99Factor: 0, ErrorBand: -1}).Check(Report{P99US: 1e9, ErrorRate: 1}, baseline); err != nil {
+		t.Fatalf("disabled gates must pass: %v", err)
+	}
+	if err := slo.Check(Report{P99US: 500}, Report{P99US: 0}); err != nil {
+		t.Fatalf("empty baseline latency must skip the gate: %v", err)
+	}
+}
+
+func TestReadBaselineRoundTrip(t *testing.T) {
+	rep := Report{Scenario: "mixed", Clients: 4, P99US: 1234.5, ErrorRate: 0.02, Requests: 100}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != rep.Scenario || got.P99US != rep.P99US || got.Requests != rep.Requests {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}

@@ -19,10 +19,13 @@ package lsq
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"github.com/asynclinalg/asyrgs/internal/alias"
 	"github.com/asynclinalg/asyrgs/internal/atomicfloat"
+	"github.com/asynclinalg/asyrgs/internal/claim"
 	"github.com/asynclinalg/asyrgs/internal/rng"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/vec"
@@ -41,6 +44,16 @@ type Options struct {
 	Workers int
 	// Seed keys the column-selection stream.
 	Seed uint64
+	// NormWeighted selects column j with probability ‖A e_j‖²/‖A‖_F² —
+	// the general Leventhal–Lewis distribution for coordinate descent on
+	// the normal equations — through an O(1) alias table built once per
+	// prepared matrix. Off, columns are drawn uniformly.
+	NormWeighted bool
+	// Chunk is the number of iteration indices an asynchronous worker
+	// claims from the shared counter at a time; zero auto-sizes from the
+	// budget and worker count. Column selection stays a pure function of
+	// (seed, j), so the chunk size never changes the update multiset.
+	Chunk int
 }
 
 // Solver holds CSR and CSC views of A plus column norms.
@@ -48,6 +61,7 @@ type Solver struct {
 	a        *sparse.CSR
 	csc      *sparse.CSC
 	colNorm2 []float64
+	tab      *alias.Table // nil unless NormWeighted
 	beta     float64
 	opts     Options
 	next     uint64
@@ -63,13 +77,31 @@ var prepCount atomic.Uint64
 func PrepCount() uint64 { return prepCount.Load() }
 
 // Prep is the reusable per-matrix state of the least-squares solvers: the
-// CSC column view of A (one transpose pass) and the squared column norms
-// ‖A e_j‖². Immutable after construction and safe for concurrent use;
-// fork Solvers from it with NewFromPrep.
+// CSC column view of A (one transpose pass), the squared column norms
+// ‖A e_j‖², and the lazily built norm-weighted alias table. Immutable
+// after construction (the alias latch is internally synchronized) and
+// safe for concurrent use; fork Solvers from it with NewFromPrep.
 type Prep struct {
 	a        *sparse.CSR
 	csc      *sparse.CSC
 	colNorm2 []float64
+
+	aliasOnce sync.Once
+	tab       *alias.Table
+	aliasErr  error
+}
+
+// colAlias returns the ‖A e_j‖²-weighted alias table, building it on
+// first use — once per prepared matrix, so a serving prep cache
+// amortizes construction across every warm norm-weighted solve.
+func (p *Prep) colAlias() (*alias.Table, error) {
+	p.aliasOnce.Do(func() {
+		p.tab, p.aliasErr = alias.New(p.colNorm2)
+		if p.aliasErr != nil {
+			p.aliasErr = fmt.Errorf("lsq: building column-sampling table: %w", p.aliasErr)
+		}
+	})
+	return p.tab, p.aliasErr
 }
 
 // PrepareMatrix validates A (rows >= cols, no zero columns) and builds
@@ -94,7 +126,8 @@ func PrepareMatrix(a *sparse.CSR) (*Prep, error) {
 func (p *Prep) Matrix() *sparse.CSR { return p.a }
 
 // NewFromPrep forks a Solver from prepared per-matrix state, validating
-// only the options — no transpose or norm computation.
+// only the options — no transpose or norm computation (the norm-weighted
+// alias table is memoized inside the Prep).
 func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
 	beta := opts.Beta
 	if beta == 0 {
@@ -107,7 +140,18 @@ func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
 	if beta <= 0 || beta >= 2 {
 		return nil, errors.New("lsq: step size outside (0,2)")
 	}
-	return &Solver{a: p.a, csc: p.csc, colNorm2: p.colNorm2, beta: beta, opts: opts}, nil
+	if opts.Chunk < 0 {
+		return nil, errors.New("lsq: negative claiming chunk")
+	}
+	s := &Solver{a: p.a, csc: p.csc, colNorm2: p.colNorm2, beta: beta, opts: opts}
+	if opts.NormWeighted {
+		tab, err := p.colAlias()
+		if err != nil {
+			return nil, err
+		}
+		s.tab = tab
+	}
+	return s, nil
 }
 
 // New validates A (must have no zero columns) and builds the solver.
@@ -138,15 +182,24 @@ func (s *Solver) Iterations(x, b []float64, m int) {
 	s.next = end
 }
 
+// pickCol maps iteration index it to a column: uniform, or the
+// ‖A e_j‖²-weighted O(1) alias draw under NormWeighted. A pure function
+// of (seed, it) either way.
+func (s *Solver) pickCol(stream rng.Stream, it uint64) int {
+	if s.tab != nil {
+		return s.tab.Pick(stream, it)
+	}
+	return stream.IntnAt(it, s.a.Cols)
+}
+
 // runSequential is iteration (20): the residual r = b − A·x is maintained
 // incrementally, giving the cheap O(nnz(col)) step.
 func (s *Solver) runSequential(x, b []float64, stream rng.Stream, start, end uint64) {
 	r := make([]float64, s.a.Rows)
 	s.a.MulVec(r, x)
 	vec.Sub(r, b, r)
-	n := s.a.Cols
 	for it := start; it < end; it++ {
-		j := stream.IntnAt(it, n)
+		j := s.pickCol(stream, it)
 		rows, vals := s.csc.Col(j)
 		var g float64
 		for k, i := range rows {
@@ -164,7 +217,9 @@ func (s *Solver) runSequential(x, b []float64, stream rng.Stream, start, end uin
 // relevant residual entries (A_i·x for rows i touching column j) with
 // plain reads, and commits the single-coordinate update atomically.
 func (s *Solver) runAsync(x, b []float64, stream rng.Stream, start, end uint64) {
-	n := s.a.Cols
+	// Chunked claiming: one CAS per chunk of indices instead of one per
+	// coordinate step takes the shared counter off the critical path.
+	chunk := s.chunkSize(end - start)
 	var counter atomic.Uint64
 	counter.Store(start)
 	var wg sync.WaitGroup
@@ -173,21 +228,32 @@ func (s *Solver) runAsync(x, b []float64, stream rng.Stream, start, end uint64) 
 		go func() {
 			defer wg.Done()
 			for {
-				it := counter.Add(1) - 1
-				if it >= end {
+				base := counter.Add(uint64(chunk)) - uint64(chunk)
+				if base >= end {
 					return
 				}
-				j := stream.IntnAt(it, n)
-				rows, vals := s.csc.Col(j)
-				var g float64
-				for k, i := range rows {
-					g += vals[k] * (b[i] - s.a.RowDotAtomic(i, x))
+				top := base + uint64(chunk)
+				if top > end {
+					top = end
 				}
-				atomicfloat.Add(&x[j], s.beta*g/s.colNorm2[j])
+				for it := base; it < top; it++ {
+					j := s.pickCol(stream, it)
+					rows, vals := s.csc.Col(j)
+					var g float64
+					for k, i := range rows {
+						g += vals[k] * (b[i] - s.a.RowDotAtomic(i, x))
+					}
+					atomicfloat.Add(&x[j], s.beta*g/s.colNorm2[j])
+				}
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// chunkSize resolves the claiming granularity (see claim.Size).
+func (s *Solver) chunkSize(total uint64) int {
+	return claim.Size(s.opts.Chunk, total, s.opts.Workers)
 }
 
 // LSQResidual returns ‖Aᵀ(b − A·x)‖₂, the least-squares optimality

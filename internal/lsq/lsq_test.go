@@ -179,3 +179,69 @@ func TestDeterministicForFixedSeed(t *testing.T) {
 		t.Fatal("sequential lsq must be deterministic")
 	}
 }
+
+// TestNormWeightedConverges runs the ‖A e_j‖²-weighted alias draw (the
+// general Leventhal–Lewis distribution) through both the sequential and
+// the asynchronous iteration, at explicit claiming granularities, and
+// checks convergence to the least-squares minimizer.
+func TestNormWeightedConverges(t *testing.T) {
+	a := workload.RandomOverdetermined(90, 30, 5, 70)
+	b := workload.RandomRHS(a.Rows, 71)
+
+	// Normal-equations reference.
+	ata, atb := func() (*sparse.CSR, []float64) {
+		s, _ := New(a, Options{})
+		return s.Normal(b)
+	}()
+	xref, err := dense.SolveCSR(ata, atb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		workers int
+		chunk   int
+	}{
+		{"sequential", 1, 0},
+		{"async", 4, 0},
+		{"async-chunk1", 4, 1},
+		{"async-chunk128", 4, 128},
+	} {
+		s, err := New(a, Options{Seed: 72, Workers: tc.workers, Chunk: tc.chunk, NormWeighted: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, a.Cols)
+		if _, res, err := s.Solve(x, b, 1e-9, 300000, 3000); err != nil {
+			t.Fatalf("%s: did not converge: residual %g", tc.name, res)
+		}
+		if e := vec.RelErr(x, xref); e > 1e-5 {
+			t.Fatalf("%s: solution error %g vs normal equations", tc.name, e)
+		}
+	}
+}
+
+// TestNormWeightedAliasBuiltOncePerPrep checks the amortization contract:
+// repeated forks off one Prep share a single alias table.
+func TestNormWeightedAliasBuiltOncePerPrep(t *testing.T) {
+	a := workload.RandomOverdetermined(40, 15, 4, 73)
+	p, err := PrepareMatrix(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewFromPrep(p, Options{NormWeighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFromPrep(p, Options{NormWeighted: true, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.tab == nil || s1.tab != s2.tab {
+		t.Fatal("forked solvers must share the Prep's alias table")
+	}
+	if _, err := NewFromPrep(p, Options{Chunk: -1}); err == nil {
+		t.Fatal("negative chunk must be rejected")
+	}
+}

@@ -3,6 +3,7 @@ package method
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,24 +37,30 @@ func init() {
 	Register(&funcMethod{name: "asyncjacobi", kind: SPD, prepare: stationaryPrepare("asyncjacobi")})
 	Register(&funcMethod{name: "kaczmarz", kind: SPD, prepare: kaczmarzPrepare})
 	Register(&funcMethod{name: "lsqcd", kind: LeastSquares,
-		prepare: lsqPrepare("lsqcd", true)})
+		prepare: lsqPrepare("lsqcd", true, false)})
 	Register(&funcMethod{name: "lsqcd-async", kind: LeastSquares,
-		prepare: lsqPrepare("lsqcd-async", false)})
+		prepare: lsqPrepare("lsqcd-async", false, false)})
+	Register(&funcMethod{name: "lsqcd-weighted", kind: LeastSquares,
+		prepare: lsqPrepare("lsqcd-weighted", true, true)})
 }
 
 // ---------------------------------------------------------------------------
 // AsyRGS / RGS family
 
 // corePrepared holds the reusable per-matrix state of the core family
-// (validated diagonal, reciprocal, sampling CDF) plus the variant flags.
-// Each Solve forks a fresh core.Solver over the shared core.Prep, so the
-// direction stream and delay statistics are per-solve while preparation
+// (validated diagonal, reciprocal, alias table / sampling CDF) plus the
+// variant flags. Each Solve runs a recycled core.Solver over the shared
+// core.Prep — the pool keeps warm solves allocation-free while the
+// direction stream and delay statistics stay per-solve and preparation
 // is paid exactly once.
 type corePrepared struct {
 	preparedBase
 	prep       *core.Prep
 	baseOpts   core.Options
 	sequential bool
+	// pool recycles solvers (with their direction and residual scratch)
+	// across solves; concurrent solves each draw their own.
+	pool sync.Pool
 }
 
 // corePrepare builds the prepare hook for an AsyRGS/RGS variant. base
@@ -80,7 +87,9 @@ func corePrepare(name string, baseOpts core.Options, sequential bool) prepareFun
 	}
 }
 
-// fork builds a per-solve core.Solver over the shared prepared state.
+// fork readies a per-solve core.Solver over the shared prepared state,
+// recycling a pooled one when available so the warm path allocates
+// nothing. Callers must release the solver when the solve is done.
 func (p *corePrepared) fork(opts Opts) (*core.Solver, error) {
 	co := p.baseOpts
 	co.Workers = opts.Workers
@@ -89,10 +98,21 @@ func (p *corePrepared) fork(opts Opts) (*core.Solver, error) {
 	}
 	co.Beta = opts.Beta
 	co.Seed = opts.Seed
+	co.Chunk = opts.Chunk
 	co.MeasureDelay = opts.MeasureDelay
 	co.Throttle = opts.Throttle
+	if v := p.pool.Get(); v != nil {
+		s := v.(*core.Solver)
+		if err := s.Reinit(p.prep, co); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
 	return core.NewFromPrep(p.prep, co)
 }
+
+// release returns a forked solver (and its scratch) to the pool.
+func (p *corePrepared) release(s *core.Solver) { p.pool.Put(s) }
 
 func (p *corePrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
@@ -100,6 +120,7 @@ func (p *corePrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Re
 	if err != nil {
 		return Result{}, err
 	}
+	defer p.release(s)
 	start := time.Now()
 	res := Result{Method: p.name}
 	for res.Sweeps < opts.MaxSweeps {
@@ -141,6 +162,7 @@ func (p *corePrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, opts 
 	if err != nil {
 		return nil, err
 	}
+	defer p.release(s)
 	n := p.a.Rows
 	bblk := vec.NewDense(n, c)
 	xblk := vec.NewDense(n, c)
@@ -402,7 +424,7 @@ func kaczmarzPrepare(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, 
 func (p *kaczmarzPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
 	s, err := kaczmarz.NewFromPrep(p.prep, kaczmarz.Options{
-		Workers: opts.Workers, Seed: opts.Seed, Beta: opts.Beta,
+		Workers: opts.Workers, Seed: opts.Seed, Beta: opts.Beta, Chunk: opts.Chunk,
 	})
 	if err != nil {
 		return Result{}, err
@@ -434,23 +456,34 @@ func (p *kaczmarzPrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, o
 
 // lsqPrepared holds the CSC view and column norms of the §8 least-squares
 // coordinate descent: sequential iteration (20) or asynchronous iteration
-// (21). One sweep is Cols coordinate steps; residuals are relative
-// normal-equation residuals ‖Aᵀ(b−Ax)‖₂/‖Aᵀb‖₂.
+// (21), drawing columns uniformly or — for lsqcd-weighted — with the
+// ‖A e_j‖²-weighted alias table (the general Leventhal–Lewis
+// distribution). One sweep is Cols coordinate steps; residuals are
+// relative normal-equation residuals ‖Aᵀ(b−Ax)‖₂/‖Aᵀb‖₂.
 type lsqPrepared struct {
 	preparedBase
 	prep       *lsq.Prep
 	sequential bool
+	weighted   bool
 }
 
-func lsqPrepare(name string, sequential bool) prepareFunc {
+func lsqPrepare(name string, sequential, weighted bool) prepareFunc {
 	return func(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
 		prep, err := lsq.PrepareMatrix(a)
 		if err != nil {
 			return nil, err
 		}
+		if weighted {
+			// Surface alias-table validation at prepare time; the table
+			// itself is memoized inside the Prep, so the serving prep
+			// cache amortizes its construction.
+			if _, err := lsq.NewFromPrep(prep, lsq.Options{NormWeighted: true}); err != nil {
+				return nil, err
+			}
+		}
 		return &lsqPrepared{
 			preparedBase: base(name, LeastSquares, a),
-			prep:         prep, sequential: sequential,
+			prep:         prep, sequential: sequential, weighted: weighted,
 		}, nil
 	}
 }
@@ -461,7 +494,10 @@ func (p *lsqPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Res
 	if p.sequential {
 		workers = 1
 	}
-	s, err := lsq.NewFromPrep(p.prep, lsq.Options{Workers: workers, Seed: opts.Seed, Beta: opts.Beta})
+	s, err := lsq.NewFromPrep(p.prep, lsq.Options{
+		Workers: workers, Seed: opts.Seed, Beta: opts.Beta,
+		NormWeighted: p.weighted, Chunk: opts.Chunk,
+	})
 	if err != nil {
 		return Result{}, err
 	}

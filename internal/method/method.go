@@ -88,6 +88,16 @@ type Opts struct {
 	// delay bound τ. Zero means 4. Shared-memory methods ignore it.
 	QueueCap int
 
+	// Chunk is the iteration-claiming granularity of the asynchronous
+	// coordinate methods: a worker grabs Chunk global iteration indices
+	// from the shared counter per CAS and generates that block's random
+	// directions into a local buffer in one pass. Zero auto-sizes from
+	// the budget and worker count. The direction at index j is a pure
+	// function of (seed, j), so Chunk trades contention against tail
+	// imbalance without changing the direction multiset. Methods without
+	// a claiming counter ignore it.
+	Chunk int
+
 	// CheckEvery is the number of sweeps between residual evaluations and
 	// context-cancellation checks; zero means 1 (16 for the stationary
 	// methods, whose per-chunk setup cost is higher and which stop early

@@ -212,6 +212,11 @@ type SolveRequest struct {
 	// distributed-memory backend (asyrgs-distmem); other methods ignore
 	// it.
 	QueueCap int `json:"queue_cap,omitempty"`
+	// Chunk is the iteration-claiming granularity of the asynchronous
+	// coordinate methods (indices grabbed from the shared counter per
+	// CAS); zero auto-sizes. The direction sequence is chunk-invariant,
+	// so this is purely a performance knob.
+	Chunk int `json:"chunk,omitempty"`
 	// FixedWork runs the bench-style fixed-sweep mode: the solver spends
 	// the whole MaxSweeps budget with no convergence target (tol is
 	// ignored). Without it, a missing or non-positive tol defaults to
@@ -240,9 +245,9 @@ func (r SolveRequest) prepKey(matrixKey string) string {
 // batched solve. The right-hand side is deliberately absent — it is the
 // per-item payload.
 func (r SolveRequest) batchKey(matrixKey string) string {
-	return fmt.Sprintf("%s|t%g|m%d|w%d|b%g|s%d|i%d|c%d|q%d|f%v|d%v",
+	return fmt.Sprintf("%s|t%g|m%d|w%d|b%g|s%d|i%d|c%d|q%d|k%d|f%v|d%v",
 		r.prepKey(matrixKey), r.Tol, r.MaxSweeps, r.Workers, r.Beta, r.Seed, r.Inner,
-		r.CheckEvery, r.QueueCap, r.FixedWork, r.MeasureDelay)
+		r.CheckEvery, r.QueueCap, r.Chunk, r.FixedWork, r.MeasureDelay)
 }
 
 // opts maps the request knobs onto method.Opts. FixedWork zeroes the
@@ -255,7 +260,7 @@ func (r SolveRequest) opts() method.Opts {
 	return method.Opts{
 		Tol: tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers,
 		Beta: r.Beta, Seed: r.Seed, Inner: r.Inner,
-		CheckEvery: r.CheckEvery, QueueCap: r.QueueCap,
+		CheckEvery: r.CheckEvery, QueueCap: r.QueueCap, Chunk: r.Chunk,
 		MeasureDelay: r.MeasureDelay,
 	}
 }
@@ -338,22 +343,45 @@ type CacheStats struct {
 // errAtCapacity marks work shed at the admission gate.
 var errAtCapacity = errors.New("serve: at capacity")
 
-// acquireGate claims an admission slot, waiting at most QueueTimeout.
-// Callers that receive true must releaseGate.
-func (s *Server) acquireGate() bool {
+// acquireGateCtx claims an admission slot, waiting at most QueueTimeout
+// and aborting when parent ends. It returns nil on success (the caller
+// must releaseGate), errAtCapacity on timeout, or the parent's error.
+// An uncontended acquire takes the non-blocking fast path, so the warm
+// request path pays no timer setup; a parent already cancelled is shed
+// before claiming a slot.
+func (s *Server) acquireGateCtx(parent context.Context) error {
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.gate <- struct{}{}:
+		return nil
+	default:
+	}
 	admit := time.NewTimer(s.cfg.QueueTimeout)
 	defer admit.Stop()
 	select {
 	case s.gate <- struct{}{}:
-		return true
+		return nil
 	case <-admit.C:
-		return false
+		return errAtCapacity
+	case <-parent.Done():
+		return parent.Err()
 	}
+}
+
+// acquireGate is acquireGateCtx without a client to abort for (the
+// cache-build paths). Callers that receive true must releaseGate.
+func (s *Server) acquireGate() bool {
+	return s.acquireGateCtx(context.Background()) == nil
 }
 
 func (s *Server) releaseGate() { <-s.gate }
 
 // solveItem is one right-hand side travelling through a solve batch.
+// Items are pooled: the done channel (capacity 1, completion delivered
+// by a token send) and the sized float64 buffers survive reuse, so a
+// warm request allocates no per-request vectors.
 type solveItem struct {
 	b, x []float64
 	// rctx is the originating request's context; it cancels the solve
@@ -361,10 +389,65 @@ type solveItem struct {
 	rctx context.Context
 	res  method.Result
 	err  error
-	// batchSize and done are written by the batch leader before done is
-	// closed.
+	// batchSize and done are written by the batch leader before the
+	// completion token is sent.
 	batchSize int
 	done      chan struct{}
+	// Pooled backing storage: the iterate, a generated right-hand side,
+	// its known solution, and the A-norm-error difference vector. b/x
+	// above point into these on the pooled path (but to request-owned or
+	// escaping slices otherwise).
+	xBuf, bBuf, xsBuf, dBuf []float64
+	// self avoids a slice allocation for single-item batches.
+	self [1]*solveItem
+}
+
+// getItem returns a recycled solve item.
+func (s *Server) getItem() *solveItem {
+	if v, ok := s.itemPool.Get().(*solveItem); ok {
+		select {
+		case <-v.done: // drain the previous batch's completion token
+		default:
+		}
+		return v
+	}
+	return &solveItem{done: make(chan struct{}, 1)}
+}
+
+// putItem recycles an item once no other goroutine can touch it (its
+// batch completed and the response no longer references its buffers).
+// Request-scoped references are dropped here, not at getItem, so an
+// idle pool does not pin a finished request's context or a client's
+// decoded right-hand side.
+func (s *Server) putItem(it *solveItem) {
+	it.b, it.x, it.rctx = nil, nil, nil
+	it.res, it.err, it.batchSize = method.Result{}, nil, 0
+	it.self[0] = nil
+	s.itemPool.Put(it)
+}
+
+// sized returns buf resized to n, reallocating only when it cannot hold
+// n entries. Contents are unspecified; callers overwrite.
+func sized(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// itemIterate readies the zero initial guess for an item. When the
+// response will carry the solution the slice must escape the pool, so it
+// is allocated fresh; otherwise the item's recycled buffer is used.
+func (s *Server) itemIterate(it *solveItem, n int, escapes bool) []float64 {
+	if escapes {
+		return make([]float64, n)
+	}
+	it.xBuf = sized(it.xBuf, n)
+	x := it.xBuf
+	for i := range x {
+		x[i] = 0
+	}
+	return x
 }
 
 // pendingBatch collects same-key solve items during the batch window.
@@ -394,6 +477,12 @@ type Server struct {
 
 	methodMu sync.Mutex
 	byMethod map[string]uint64
+
+	// itemPool recycles solveItems with their done channels and sized
+	// right-hand-side/iterate buffers across requests, so warm traffic
+	// allocates no per-request vectors (O(1) garbage per request
+	// regardless of matrix dimension).
+	itemPool sync.Pool
 
 	// Latency histograms (µs): per endpoint and per registry method.
 	// Both maps are built complete at construction and never written
@@ -531,7 +620,9 @@ func (s *Server) runBatch(ps method.PreparedSystem, opts method.Opts, items []*s
 	defer func() {
 		for _, it := range items {
 			it.batchSize = len(items)
-			close(it.done)
+			// Completion token instead of close so the channel survives
+			// pooling; each item sees exactly one send per batch.
+			it.done <- struct{}{}
 		}
 	}()
 
@@ -552,21 +643,14 @@ func (s *Server) runBatch(ps method.PreparedSystem, opts method.Opts, items []*s
 	}
 
 	// Admission gate: bound concurrent solve batches, waiting at most
-	// QueueTimeout for a slot.
-	admit := time.NewTimer(s.cfg.QueueTimeout)
-	defer admit.Stop()
-	select {
-	case s.gate <- struct{}{}:
+	// QueueTimeout for a slot and shedding the batch if its only client
+	// goes away (or already went away) while queued.
+	switch err := s.acquireGateCtx(parent); {
+	case err == nil:
 		defer s.releaseGate()
-	case <-admit.C:
+	default:
 		for _, it := range items {
-			it.err = errAtCapacity
-		}
-		return
-	case <-parent.Done():
-		// The only client this batch serves went away while queued.
-		for _, it := range items {
-			it.err = parent.Err()
+			it.err = err
 		}
 		return
 	}
@@ -726,8 +810,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	// Right-hand sides: explicit batch, explicit single, or generated
 	// (with a known solution for SPD systems so the response can report
-	// the A-norm error).
+	// the A-norm error). Items come from the pool: on the warm path the
+	// iterate and any generated right-hand side land in recycled buffers,
+	// so per-request garbage stays O(1) in the matrix dimension.
 	var items []*solveItem
+	// Recycle on every exit path — success, rejection, or error — so
+	// pool churn does not spike exactly when the server is shedding
+	// load. By the time the handler returns, each item's batch (if any)
+	// has delivered its completion token and the response has been
+	// written, so nothing references the pooled buffers (escaping
+	// iterates are allocated fresh, see itemIterate).
+	defer func() {
+		for _, bi := range items {
+			s.putItem(bi)
+		}
+	}()
 	var xstar []float64
 	explicitBatch := len(req.Bs) > 0
 	switch {
@@ -737,21 +834,33 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				s.fail(w, http.StatusBadRequest, "bs[%d] has %d entries, matrix has %d rows", i, len(b), a.Rows)
 				return
 			}
-			items = append(items, &solveItem{b: b, x: make([]float64, a.Cols), rctx: r.Context(), done: make(chan struct{})})
+			it := s.getItem()
+			it.b, it.rctx = b, r.Context()
+			it.x = s.itemIterate(it, a.Cols, req.IncludeSolution)
+			items = append(items, it)
 		}
 	default:
+		it := s.getItem()
+		it.rctx = r.Context()
+		it.self[0] = it
+		items = it.self[:]
 		b := req.B
 		if len(b) == 0 {
+			it.bBuf = sized(it.bBuf, a.Rows)
+			b = it.bBuf
 			if m.Kind() == method.SPD {
-				b, xstar = workload.RHSForSolution(a, req.RHSSeed)
+				it.xsBuf = sized(it.xsBuf, a.Cols)
+				workload.RHSForSolutionInto(a, req.RHSSeed, b, it.xsBuf)
+				xstar = it.xsBuf
 			} else {
-				b = workload.RandomRHS(a.Rows, req.RHSSeed)
+				workload.RandomRHSInto(req.RHSSeed, b)
 			}
 		} else if len(b) != a.Rows {
 			s.fail(w, http.StatusBadRequest, "right-hand side has %d entries, matrix has %d rows", len(b), a.Rows)
 			return
 		}
-		items = append(items, &solveItem{b: b, x: make([]float64, a.Cols), rctx: r.Context(), done: make(chan struct{})})
+		it.b = b
+		it.x = s.itemIterate(it, a.Cols, req.IncludeSolution)
 	}
 
 	// Phase 2 — solve. An explicit bs request is already a batch; a
@@ -798,7 +907,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if xstar != nil && a.Rows == a.Cols {
 		if nx := a.ANorm(xstar); nx > 0 {
-			v := a.ANormErr(it.x, xstar) / nx
+			// ‖x−x*‖_A through the item's pooled difference buffer
+			// (sparse.ANormErr would allocate an n-vector per request).
+			it.dBuf = sized(it.dBuf, len(xstar))
+			for i := range it.dBuf {
+				it.dBuf[i] = it.x[i] - xstar[i]
+			}
+			v := a.ANorm(it.dBuf) / nx
 			resp.ANormErr = &v
 		}
 	}

@@ -327,24 +327,38 @@ func RandomOverdetermined(rows, cols, nnzPerRow int, seed uint64) *sparse.CSR {
 // need a known exact solution; the paper built one the same way (solve to
 // low residual, then re-pose with b = A·x*).
 func RHSForSolution(a *sparse.CSR, seed uint64) (b, xstar []float64) {
-	g := rng.NewSequential(seed)
+	b = make([]float64, a.Rows)
 	xstar = make([]float64, a.Cols)
+	RHSForSolutionInto(a, seed, b, xstar)
+	return b, xstar
+}
+
+// RHSForSolutionInto is RHSForSolution writing into caller-owned buffers
+// (len(b) = Rows, len(xstar) = Cols) — the pooled-buffer path of the
+// serving layer, producing bit-identical values to RHSForSolution.
+func RHSForSolutionInto(a *sparse.CSR, seed uint64, b, xstar []float64) {
+	g := rng.NewSequential(seed)
 	for i := range xstar {
 		xstar[i] = 2*g.Float64() - 1
 	}
-	b = make([]float64, a.Rows)
 	a.MulVec(b, xstar)
-	return b, xstar
 }
 
 // RandomRHS returns a right-hand side with entries uniform in [-1,1].
 func RandomRHS(n int, seed uint64) []float64 {
-	g := rng.NewSequential(seed)
 	b := make([]float64, n)
+	RandomRHSInto(seed, b)
+	return b
+}
+
+// RandomRHSInto is RandomRHS writing into a caller-owned buffer — the
+// pooled-buffer path of the serving layer, producing bit-identical
+// values to RandomRHS.
+func RandomRHSInto(seed uint64, b []float64) {
+	g := rng.NewSequential(seed)
 	for i := range b {
 		b[i] = 2*g.Float64() - 1
 	}
-	return b
 }
 
 // MultiRHS returns an n×cols row-major block of uniform [-1,1] right-hand
