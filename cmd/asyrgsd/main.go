@@ -9,8 +9,8 @@
 // Usage:
 //
 //	asyrgsd [-addr :8080] [-max-concurrent P] [-cache 16] [-prep-cache 64]
-//	        [-batch-window 2ms] [-queue-timeout 5s] [-solve-timeout 60s]
-//	        [-max-dim 1048576] [-drain-timeout 10s]
+//	        [-batch-window 2ms] [-batch-target 0] [-queue-timeout 5s]
+//	        [-solve-timeout 60s] [-max-dim 1048576] [-drain-timeout 10s]
 //
 // Endpoints: POST /solve, GET /methods, GET /healthz, GET /stats (JSON
 // counters plus per-endpoint/per-method latency summaries), GET /metrics
@@ -63,7 +63,8 @@ func main() {
 		maxConc      = flag.Int("max-concurrent", 0, "max in-flight solve batches (0 = GOMAXPROCS)")
 		cacheSize    = flag.Int("cache", 16, "built-matrix LRU capacity")
 		prepCache    = flag.Int("prep-cache", 0, "prepared-system LRU capacity (0 = 4x -cache)")
-		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for concurrent same-system requests (negative disables)")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "max coalescing wait for concurrent same-system requests; the adaptive deadline shortens it (negative disables)")
+		batchTarget  = flag.Int("batch-target", 0, "flush a coalesced batch at this width (0 = adapt to observed widths)")
 		queueTimeout = flag.Duration("queue-timeout", 5*time.Second, "max wait for an admission slot")
 		solveTimeout = flag.Duration("solve-timeout", 60*time.Second, "per-batch solve budget")
 		maxDim       = flag.Int("max-dim", 1<<20, "largest accepted matrix dimension")
@@ -76,6 +77,7 @@ func main() {
 		CacheSize:     *cacheSize,
 		PrepCacheSize: *prepCache,
 		BatchWindow:   *batchWindow,
+		BatchTarget:   *batchTarget,
 		QueueTimeout:  *queueTimeout,
 		SolveTimeout:  *solveTimeout,
 		MaxDim:        *maxDim,

@@ -1,0 +1,189 @@
+package load
+
+// The capacity-knee sweep: step an open-loop Poisson arrival rate
+// geometrically and watch the tail. A healthy server's p99 is roughly
+// flat in offered rate until the rate crosses its service capacity;
+// past that point the open-loop queue grows without bound and p99
+// explodes by orders of magnitude within one step. The knee — the last
+// offered rate the server absorbed with a sane tail — is a scalar
+// capacity measure that closed-loop throughput cannot give (a closed
+// loop self-throttles, so it never drives the server past saturation).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// KneeOptions configure one capacity sweep. The zero value sweeps the
+// mixed scenario from 50 req/s, doubling for up to 8 steps of 2s each.
+type KneeOptions struct {
+	// Scenario is the traffic shape offered at every step.
+	Scenario string
+	// StartRate is the first offered rate in req/s; zero means 50. The
+	// first step always completes and sets the tail-latency baseline, so
+	// the reported knee is never below StartRate — start well under the
+	// capacity you expect.
+	StartRate float64
+	// Factor multiplies the rate between steps; values ≤ 1 mean 2.
+	Factor float64
+	// Steps bounds the sweep length; zero means 8.
+	Steps int
+	// StepDuration bounds each step's wall time; zero means 2s.
+	StepDuration time.Duration
+	// StepRequests optionally bounds each step's request count (the
+	// deterministic budget tests want); zero leaves the step governed by
+	// StepDuration alone.
+	StepRequests int
+	// Seed keys the request streams; step k runs with Seed+k so steps
+	// draw distinct traffic.
+	Seed uint64
+	// N is the base problem dimension, as in Options.N.
+	N int
+	// RequestTimeout caps one request's wall time, as in Options.
+	RequestTimeout time.Duration
+	// KneeP99Factor declares the knee when a step's p99 exceeds this
+	// factor × the first step's p99; zero means 10.
+	KneeP99Factor float64
+	// KneeErrorRate declares the knee when a step's combined error and
+	// rejection rate exceeds this fraction; zero means 0.05. Negative
+	// disables the error criterion.
+	KneeErrorRate float64
+}
+
+func (o KneeOptions) withDefaults() KneeOptions {
+	if o.Scenario == "" {
+		o.Scenario = "mixed"
+	}
+	if o.StartRate <= 0 {
+		o.StartRate = 50
+	}
+	if o.Factor <= 1 {
+		o.Factor = 2
+	}
+	if o.Steps <= 0 {
+		o.Steps = 8
+	}
+	if o.StepDuration <= 0 {
+		o.StepDuration = 2 * time.Second
+	}
+	if o.KneeP99Factor <= 0 {
+		o.KneeP99Factor = 10
+	}
+	if o.KneeErrorRate == 0 {
+		o.KneeErrorRate = 0.05
+	}
+	return o
+}
+
+// KneeReport is the outcome of one sweep — the BENCH_knee.json shape.
+// Steps holds every per-rate open-loop Report in order, so offered vs
+// achieved rate and the p99 curve are all in the artifact.
+type KneeReport struct {
+	Scenario string `json:"scenario"`
+	// KneeRPS is the highest offered rate the server absorbed without
+	// tripping the p99 or error criterion. When no step tripped, it is
+	// the last rate swept (the sweep never reached capacity).
+	KneeRPS float64 `json:"knee_rps"`
+	// Saturated reports whether the sweep actually found the knee (some
+	// step tripped a criterion) rather than running out of steps.
+	Saturated bool `json:"saturated"`
+	// BaseP99US is the first step's p99 — the tail-latency baseline the
+	// p99-explosion criterion compares against.
+	BaseP99US float64  `json:"base_p99_us"`
+	Steps     []Report `json:"steps"`
+}
+
+// WriteJSON writes the sweep as an indented JSON artifact
+// (BENCH_knee.json).
+func (r KneeReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the human-facing sweep summary.
+func (r KneeReport) String() string {
+	s := fmt.Sprintf("knee sweep %s: %d steps, knee %.1f req/s (base p99 %.2fms, saturated %v)\n",
+		r.Scenario, len(r.Steps), r.KneeRPS, r.BaseP99US/1e3, r.Saturated)
+	for _, st := range r.Steps {
+		s += fmt.Sprintf("  offered %7.1f req/s  achieved %7.1f  p99 %9.2fms  errors %d  rejected %d\n",
+			st.OfferedRPS, st.ThroughputRPS, st.P99US/1e3, st.Errors, st.Rejected)
+	}
+	return s
+}
+
+// ReadKneeBaseline loads a committed BENCH_knee.json sweep.
+func ReadKneeBaseline(path string) (KneeReport, error) {
+	var rep KneeReport
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("load: parsing knee baseline %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Knee sweeps the offered open-loop rate until the server's tail
+// explodes or the steps run out. The first step is always taken in full
+// and establishes the p99 baseline; each later step checks the knee
+// criteria and, on a trip, ends the sweep with the previous rate as the
+// knee. Returns an error only for unusable inputs or a cancelled
+// context; an unhealthy server shows up in the report, not the error.
+func Knee(ctx context.Context, target *Target, opts KneeOptions) (KneeReport, error) {
+	opts = opts.withDefaults()
+	rep := KneeReport{Scenario: opts.Scenario}
+	rate := opts.StartRate
+	for k := 0; k < opts.Steps; k++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		step, err := Run(ctx, target, Options{
+			Scenario:       opts.Scenario,
+			OpenLoop:       true,
+			Rate:           rate,
+			Duration:       opts.StepDuration,
+			MaxRequests:    opts.StepRequests,
+			Seed:           opts.Seed + uint64(k),
+			N:              opts.N,
+			RequestTimeout: opts.RequestTimeout,
+		})
+		if err != nil {
+			return rep, err
+		}
+		rep.Steps = append(rep.Steps, step)
+		if k == 0 {
+			rep.BaseP99US = step.P99US
+			rep.KneeRPS = rate
+			rate *= opts.Factor
+			continue
+		}
+		if tripped(step, rep.BaseP99US, opts) {
+			rep.Saturated = true
+			return rep, nil
+		}
+		rep.KneeRPS = rate
+		rate *= opts.Factor
+	}
+	return rep, nil
+}
+
+// tripped applies the knee criteria to one step.
+func tripped(step Report, baseP99 float64, opts KneeOptions) bool {
+	if baseP99 > 0 && step.P99US > opts.KneeP99Factor*baseP99 {
+		return true
+	}
+	if opts.KneeErrorRate >= 0 && step.Requests > 0 {
+		bad := float64(step.Errors+step.Rejected) / float64(step.Requests)
+		if bad > opts.KneeErrorRate {
+			return true
+		}
+	}
+	return false
+}

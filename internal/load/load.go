@@ -11,6 +11,13 @@
 // invariants (no request lost, coalescing accounting exact, warm
 // traffic hitting the prep cache).
 //
+// An open-loop mode (Options.OpenLoop) replaces the closed-loop clients
+// with a Poisson arrival process at a target rate, measuring every
+// latency from the request's intended departure instant so coordinated
+// omission is impossible; Knee sweeps the offered rate geometrically to
+// locate the server's capacity knee, the rate where tail latency
+// explodes.
+//
 // cmd/asyload is the CLI face; the soak suite in this package runs every
 // scenario race-clean in seconds and is CI's load-smoke gate.
 package load
@@ -21,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -55,6 +63,17 @@ type Options struct {
 	// RequestTimeout caps one request's wall time so a wedged server
 	// cannot hang the driver; zero means 30s.
 	RequestTimeout time.Duration
+	// OpenLoop switches from closed-loop clients to an open-loop Poisson
+	// arrival process: requests depart at Rate regardless of how fast
+	// earlier ones complete, each on its own goroutine, and latency is
+	// measured from the request's *intended* departure time. A server
+	// falling behind therefore accrues queueing delay in the recorded
+	// latencies instead of silently throttling the generator — the
+	// closed-loop blind spot known as coordinated omission.
+	OpenLoop bool
+	// Rate is the open-loop target arrival rate in requests/sec; zero
+	// means 100. Ignored in closed-loop mode.
+	Rate float64
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +91,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
+	}
+	if o.OpenLoop && o.Rate <= 0 {
+		o.Rate = 100
 	}
 	return o
 }
@@ -161,6 +183,14 @@ type Report struct {
 	// bucket 0 = 0, bucket k = [2^(k-1), 2^k).
 	LatencyHistUS []uint64 `json:"latency_hist_us"`
 
+	// OpenLoop marks a run driven on a Poisson arrival schedule at
+	// OfferedRPS requests/sec. Open-loop latencies include any queueing
+	// delay behind the generator's own schedule (measured from intended
+	// departure, not actual send), so compare ThroughputRPS against
+	// OfferedRPS to see whether the server kept up.
+	OpenLoop   bool    `json:"open_loop,omitempty"`
+	OfferedRPS float64 `json:"offered_rps,omitempty"`
+
 	// Server is the delta of the daemon's /stats counters across the run,
 	// when the target exposes them.
 	Server *ServerDelta `json:"server,omitempty"`
@@ -191,7 +221,11 @@ func (r Report) WriteJSON(w io.Writer) error {
 // String renders the human-facing summary.
 func (r Report) String() string {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "scenario %s: %d clients, %.2fs\n", r.Scenario, r.Clients, r.DurationSec)
+	if r.OpenLoop {
+		fmt.Fprintf(&b, "scenario %s: open loop, %.1f req/s offered, %.2fs\n", r.Scenario, r.OfferedRPS, r.DurationSec)
+	} else {
+		fmt.Fprintf(&b, "scenario %s: %d clients, %.2fs\n", r.Scenario, r.Clients, r.DurationSec)
+	}
 	fmt.Fprintf(&b, "  requests    %d (%.1f req/s)  ok %d  errors %d  rejected %d  cancelled %d\n",
 		r.Requests, r.ThroughputRPS, r.OK, r.Errors, r.Rejected, r.Cancelled)
 	fmt.Fprintf(&b, "  latency     p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms\n",
@@ -237,32 +271,11 @@ func Run(ctx context.Context, target *Target, opts Options) (Report, error) {
 		hist stats.AtomicPow2Histogram
 	)
 	start := time.Now()
-	deadline := start.Add(opts.Duration)
-	var wg sync.WaitGroup
-	for c := 0; c < opts.Clients; c++ {
-		c := c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			g := rng.NewSequential(opts.Seed + uint64(c)*0x9e3779b97f4a7c15)
-			for i := 0; ; i++ {
-				if ctx.Err() != nil || time.Now().After(deadline) {
-					return
-				}
-				if opts.MaxRequests > 0 {
-					if cnt.issued.Add(1) > uint64(opts.MaxRequests) {
-						cnt.issued.Add(^uint64(0)) // undo: budget spent, not issued
-						return
-					}
-				} else {
-					cnt.issued.Add(1)
-				}
-				req := scen.Next(opts, g, c, i)
-				issue(ctx, target, opts, req, &cnt, &hist)
-			}
-		}()
+	if opts.OpenLoop {
+		runOpen(ctx, target, opts, scen, &cnt, &hist)
+	} else {
+		runClosed(ctx, target, opts, scen, &cnt, &hist)
 	}
-	wg.Wait()
 	elapsed := time.Since(start)
 
 	rep := Report{
@@ -275,6 +288,10 @@ func Run(ctx context.Context, target *Target, opts Options) (Report, error) {
 		Converged: cnt.converged.Load(),
 
 		CoalescedRequests: cnt.coalesced.Load(),
+	}
+	if opts.OpenLoop {
+		rep.OpenLoop = true
+		rep.OfferedRPS = opts.Rate
 	}
 	snap := hist.Snapshot()
 	rep.LatencyHistUS = snap.Counts
@@ -311,11 +328,99 @@ func Run(ctx context.Context, target *Target, opts Options) (Report, error) {
 	return rep, nil
 }
 
+// runClosed drives opts.Clients concurrent closed-loop clients: each
+// issues its next request only after the previous one completes, so the
+// offered load self-throttles to whatever the server sustains.
+func runClosed(ctx context.Context, target *Target, opts Options, scen Scenario, cnt *counters, hist *stats.AtomicPow2Histogram) {
+	deadline := time.Now().Add(opts.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := rng.NewSequential(opts.Seed + uint64(c)*0x9e3779b97f4a7c15)
+			for i := 0; ; i++ {
+				if ctx.Err() != nil || time.Now().After(deadline) {
+					return
+				}
+				if opts.MaxRequests > 0 {
+					if cnt.issued.Add(1) > uint64(opts.MaxRequests) {
+						cnt.issued.Add(^uint64(0)) // undo: budget spent, not issued
+						return
+					}
+				} else {
+					cnt.issued.Add(1)
+				}
+				req := scen.Next(opts, g, c, i)
+				issue(ctx, target, opts, req, time.Time{}, cnt, hist)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen drives an open-loop Poisson arrival process: a single
+// dispatcher draws exponential inter-arrival gaps at opts.Rate, sleeps
+// until each intended departure instant, and hands the request to a
+// fresh goroutine — in-flight count is unbounded by design, so a server
+// that cannot keep up builds visible queueing delay rather than slowing
+// the generator down. Each request's latency is measured from its
+// intended departure time (not the actual send), which is what makes
+// coordinated omission impossible: a stall in the server delays the
+// dispatcher not at all, and late departures charge the lateness to the
+// request that suffered it.
+//
+// The dispatcher draws every request (scenario stream and gaps alike)
+// from one sequential stream with client index 0, so a fixed
+// (Seed, MaxRequests) budget issues a deterministic request sequence
+// just as the closed loop does.
+func runOpen(ctx context.Context, target *Target, opts Options, scen Scenario, cnt *counters, hist *stats.AtomicPow2Histogram) {
+	g := rng.NewSequential(opts.Seed)
+	deadline := time.Now().Add(opts.Duration)
+	next := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; ; i++ {
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			break
+		}
+		if opts.MaxRequests > 0 && cnt.issued.Load() >= uint64(opts.MaxRequests) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		cnt.issued.Add(1)
+		req := scen.Next(opts, g, 0, i)
+		intended := next
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			issue(ctx, target, opts, req, intended, cnt, hist)
+		}()
+		// Exponential inter-arrival gap with mean 1/Rate seconds; the
+		// 1-u argument keeps Log away from 0 (Float64 is in [0,1)).
+		gap := -math.Log(1-g.Float64()) / opts.Rate
+		next = next.Add(time.Duration(gap * float64(time.Second)))
+	}
+	wg.Wait()
+}
+
 // issue sends one request, classifies the outcome, and records latency.
 // Every path increments exactly one outcome counter, so the report's
 // accounting identity (requests = ok+errors+rejected+cancelled) holds by
-// construction.
-func issue(ctx context.Context, target *Target, opts Options, req Request, cnt *counters, hist *stats.AtomicPow2Histogram) {
+// construction. A non-zero from is the latency origin (the open loop's
+// intended departure instant); the zero value measures from the actual
+// send, the closed-loop convention.
+func issue(ctx context.Context, target *Target, opts Options, req Request, from time.Time, cnt *counters, hist *stats.AtomicPow2Histogram) {
 	body, err := json.Marshal(req.Solve)
 	if err != nil {
 		cnt.errs.Add(1)
@@ -332,7 +437,10 @@ func issue(ctx context.Context, target *Target, opts Options, req Request, cnt *
 		defer abandon.Stop()
 	}
 
-	start := time.Now()
+	start := from
+	if start.IsZero() {
+		start = time.Now()
+	}
 	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, target.BaseURL+"/solve", bytes.NewReader(body))
 	if err != nil {
 		cnt.errs.Add(1)

@@ -1,0 +1,223 @@
+// Open-loop and capacity-knee coverage: the Poisson arrival process
+// keeps the exact accounting invariants of the closed loop, the
+// per-stage server timings stay internally consistent with the endpoint
+// latency under load, and the knee sweep produces a well-formed
+// BENCH_knee.json artifact end to end.
+package load_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/load"
+	"github.com/asynclinalg/asyrgs/internal/serve"
+)
+
+func openLoopOptions(scenario string, rate float64) load.Options {
+	return load.Options{
+		Scenario:    scenario,
+		OpenLoop:    true,
+		Rate:        rate,
+		MaxRequests: 24,
+		Duration:    2 * time.Minute, // safety cap; the budget governs
+		Seed:        7,
+		N:           64,
+	}
+}
+
+// TestSoakOpenLoopPoisson: the open-loop driver spends its whole
+// request budget, loses nothing, and stamps the open-loop report
+// fields.
+func TestSoakOpenLoopPoisson(t *testing.T) {
+	target := load.NewInProcessTarget(soakConfig())
+	t.Cleanup(target.Close)
+	opts := openLoopOptions("warm-repeat", 400)
+	rep, err := load.Run(context.Background(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, rep, opts)
+	if !rep.OpenLoop || rep.OfferedRPS != 400 {
+		t.Fatalf("open-loop fields not stamped: %+v", rep)
+	}
+	if rep.OK != rep.Requests {
+		t.Fatalf("open-loop warm traffic must all succeed: %+v", rep)
+	}
+	if rep.Converged != rep.OK {
+		t.Fatalf("open-loop warm solves must converge: %d of %d", rep.Converged, rep.OK)
+	}
+}
+
+// TestStageTimingsConsistent: the per-stage histograms the server
+// exposes must describe disjoint slices of the /solve handler — total
+// stage time bounded above by total endpoint time (modulo clock skew
+// slack), and the solve stage is not empty noise.
+func TestStageTimingsConsistent(t *testing.T) {
+	target := load.NewInProcessTarget(soakConfig())
+	t.Cleanup(target.Close)
+	opts := openLoopOptions("warm-repeat", 400)
+	rep, err := load.Run(context.Background(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != rep.Requests {
+		t.Fatalf("stage consistency needs a clean run: %+v", rep)
+	}
+
+	st, ok := fetchServeStats(t, target)
+	if !ok {
+		t.Fatal("in-process target must expose /stats")
+	}
+	solve, ok := st.Latency["/solve"]
+	if !ok || solve.Count == 0 {
+		t.Fatalf("no /solve endpoint latency recorded: %+v", st.Latency)
+	}
+	endpointTotalUS := solve.MeanUS * float64(solve.Count)
+
+	var stageTotalUS float64
+	for _, name := range []string{"build", "prepare", "queue", "solve", "respond"} {
+		sum, ok := st.Stages[name]
+		if !ok {
+			t.Fatalf("stage %q missing: %+v", name, st.Stages)
+		}
+		if sum.Count == 0 {
+			t.Fatalf("stage %q never observed: %+v", name, st.Stages)
+		}
+		stageTotalUS += sum.MeanUS * float64(sum.Count)
+	}
+	// The stages are disjoint sub-intervals of the handler: their total
+	// must not exceed the endpoint total. Each stage clock truncates to
+	// whole microseconds independently of the endpoint clock, so allow
+	// 5% plus a few microseconds per request of measurement slack.
+	slackUS := 0.05*endpointTotalUS + 5*float64(solve.Count)
+	if stageTotalUS > endpointTotalUS+slackUS {
+		t.Fatalf("stage totals exceed the endpoint total: stages %.0fµs, endpoint %.0fµs (+%.0fµs slack)",
+			stageTotalUS, endpointTotalUS, slackUS)
+	}
+	// And they must account for a real share of it — the solve itself
+	// dominates a solve server; if the stages sum to almost nothing the
+	// clocks are not wired to the work.
+	if stageTotalUS < 0.25*endpointTotalUS {
+		t.Fatalf("stages account for only %.0fµs of %.0fµs endpoint time — stage clocks disconnected",
+			stageTotalUS, endpointTotalUS)
+	}
+}
+
+// fetchServeStats reads the target's /stats as the typed serve.Stats.
+func fetchServeStats(t *testing.T, target *load.Target) (serve.Stats, bool) {
+	t.Helper()
+	var st serve.Stats
+	resp, err := target.Client.Get(target.BaseURL + "/stats")
+	if err != nil {
+		return st, false
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding /stats: %v", err)
+	}
+	return st, true
+}
+
+// TestKneeSweep: a no-trip sweep walks every step and reports the last
+// rate; a hair-trigger p99 criterion trips at step 1 and pins the knee
+// to the start rate; the artifact round-trips through JSON; the SLO
+// knee gate passes and fails where it should.
+func TestKneeSweep(t *testing.T) {
+	target := load.NewInProcessTarget(soakConfig())
+	t.Cleanup(target.Close)
+
+	base := load.KneeOptions{
+		Scenario:     "warm-repeat",
+		StartRate:    200,
+		Factor:       2,
+		Steps:        3,
+		StepDuration: time.Minute, // safety cap; StepRequests governs
+		StepRequests: 12,
+		Seed:         7,
+		N:            64,
+		// Criteria that cannot trip: the sweep must run out of steps.
+		KneeP99Factor: 1e12,
+		KneeErrorRate: -1,
+	}
+	rep, err := load.Knee(context.Background(), target, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 3 {
+		t.Fatalf("sweep took %d steps, want 3", len(rep.Steps))
+	}
+	if rep.Saturated {
+		t.Fatalf("untrippable criteria reported saturation: %+v", rep)
+	}
+	if rep.KneeRPS != 800 {
+		t.Fatalf("no-trip sweep must report the last rate 800, got %g", rep.KneeRPS)
+	}
+	if rep.BaseP99US != rep.Steps[0].P99US || rep.BaseP99US <= 0 {
+		t.Fatalf("baseline p99 not taken from step 0: %+v", rep)
+	}
+	for k, step := range rep.Steps {
+		if !step.OpenLoop {
+			t.Fatalf("step %d not an open-loop run: %+v", k, step)
+		}
+		if step.Requests != 12 {
+			t.Fatalf("step %d issued %d requests, want 12", k, step.Requests)
+		}
+		want := 200.0
+		for i := 0; i < k; i++ {
+			want *= 2
+		}
+		if step.OfferedRPS != want {
+			t.Fatalf("step %d offered %g req/s, want %g", k, step.OfferedRPS, want)
+		}
+	}
+
+	// A p99 criterion every step violates: the sweep must stop after the
+	// first post-baseline step and keep the start rate as the knee.
+	trip := base
+	trip.KneeP99Factor = 1e-9
+	tripped, err := load.Knee(context.Background(), target, trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tripped.Saturated || len(tripped.Steps) != 2 || tripped.KneeRPS != 200 {
+		t.Fatalf("hair-trigger sweep: saturated=%v steps=%d knee=%g, want true/2/200",
+			tripped.Saturated, len(tripped.Steps), tripped.KneeRPS)
+	}
+
+	// Artifact round trip.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_knee.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := load.ReadKneeBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.KneeRPS != rep.KneeRPS || len(back.Steps) != len(rep.Steps) || back.BaseP99US != rep.BaseP99US {
+		t.Fatalf("knee artifact did not round-trip: wrote %+v, read %+v", rep, back)
+	}
+
+	// The SLO knee gate: equal knees pass, an 8× capacity loss fails,
+	// and a zero factor disables the gate.
+	slo := load.SLO{KneeFactor: 2}
+	if err := slo.CheckKnee(rep, back); err != nil {
+		t.Fatalf("equal knees must pass the gate: %v", err)
+	}
+	regressed := rep
+	regressed.KneeRPS = rep.KneeRPS / 8
+	if err := slo.CheckKnee(regressed, back); err == nil {
+		t.Fatal("an 8x knee regression must fail the 2x gate")
+	}
+	if err := (load.SLO{}).CheckKnee(regressed, back); err != nil {
+		t.Fatalf("zero KneeFactor must disable the gate: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/asynclinalg/asyrgs/internal/rng"
@@ -73,21 +74,46 @@ func perRequestSeed(client, i int) uint64 {
 	return uint64(client)<<32 | uint64(uint32(i))
 }
 
-// zipfPick draws a catalogue rank with P(r) ∝ 1/(r+1)^s — the skewed
-// matrix popularity of real serving traffic (a few hot systems, a long
-// cold tail).
-func zipfPick(g *rng.Sequential, n int, s float64) int {
-	var total float64
-	for r := 0; r < n; r++ {
-		total += math.Pow(float64(r+1), -s)
+// zipfCDFs caches the unnormalized cumulative power-law weights per
+// (n, s), so the mixed scenario's hot loop stops recomputing the O(n)
+// normalization (and its n math.Pow calls) on every single draw.
+var zipfCDFs sync.Map // zipfCDFKey -> []float64
+
+type zipfCDFKey struct {
+	n int
+	s float64
+}
+
+// zipfCDF returns the cumulative weights cum[r] = Σ_{k≤r} (k+1)^-s,
+// building them once per (n, s). The partial sums are accumulated in
+// the same left-to-right order the old per-draw walk used, so every
+// entry is bit-identical to the running value that walk compared
+// against.
+func zipfCDF(n int, s float64) []float64 {
+	key := zipfCDFKey{n: n, s: s}
+	if v, ok := zipfCDFs.Load(key); ok {
+		return v.([]float64)
 	}
-	u := g.Float64() * total
+	cdf := make([]float64, n)
 	var cum float64
 	for r := 0; r < n; r++ {
 		cum += math.Pow(float64(r+1), -s)
-		if u <= cum {
-			return r
-		}
+		cdf[r] = cum
+	}
+	v, _ := zipfCDFs.LoadOrStore(key, cdf)
+	return v.([]float64)
+}
+
+// zipfPick draws a catalogue rank with P(r) ∝ 1/(r+1)^s — the skewed
+// matrix popularity of real serving traffic (a few hot systems, a long
+// cold tail). One uniform draw plus a binary search over the cached
+// CDF; the draw sequence is exactly the old linear walk's (same single
+// g.Float64() call, same partial sums, same tie rule u <= cum[r]).
+func zipfPick(g *rng.Sequential, n int, s float64) int {
+	cdf := zipfCDF(n, s)
+	u := g.Float64() * cdf[n-1]
+	if r := sort.SearchFloat64s(cdf, u); r < n {
+		return r
 	}
 	return n - 1
 }

@@ -26,6 +26,13 @@ type SLO struct {
 	// baseline's by more than this absolute amount. Negative disables
 	// the error gate.
 	ErrorBand float64
+	// KneeFactor fails CheckKnee when the run's capacity knee falls
+	// below the baseline's knee divided by this factor — a capacity
+	// regression gate over the open-loop sweep. The knee is measured in
+	// geometric rate steps, so a generous factor (≥ the sweep's step
+	// Factor) keeps one-step jitter from failing CI. Zero or negative
+	// disables the knee gate.
+	KneeFactor float64
 }
 
 // ErrSLO marks a gate violation so drivers can map it to a distinct
@@ -66,4 +73,19 @@ func (s SLO) Check(rep, baseline Report) error {
 		return nil
 	}
 	return fmt.Errorf("%w: %s", ErrSLO, strings.Join(violations, "; "))
+}
+
+// CheckKnee compares an open-loop sweep against its baseline and
+// returns an ErrSLO-wrapped error when the measured capacity knee has
+// regressed beyond the KneeFactor band. A baseline with no knee data
+// (knee = 0) skips the gate.
+func (s SLO) CheckKnee(rep, baseline KneeReport) error {
+	if s.KneeFactor <= 0 || baseline.KneeRPS <= 0 {
+		return nil
+	}
+	if rep.KneeRPS*s.KneeFactor < baseline.KneeRPS {
+		return fmt.Errorf("%w: capacity knee %.1f req/s is below 1/%.1f of the baseline's %.1f req/s",
+			ErrSLO, rep.KneeRPS, s.KneeFactor, baseline.KneeRPS)
+	}
+	return nil
 }

@@ -1,0 +1,72 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
+)
+
+// zipfPickLinear is the pre-optimization reference: recompute the
+// normalization and walk the partial sums on every draw. zipfPick must
+// reproduce its draw sequence exactly — same stream consumption, same
+// rank for every uniform — or the deterministic soak accounting changes
+// under our feet.
+func zipfPickLinear(g *rng.Sequential, n int, s float64) int {
+	var total float64
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+	}
+	u := g.Float64() * total
+	var cum float64
+	for r := 0; r < n; r++ {
+		cum += math.Pow(float64(r+1), -s)
+		if u <= cum {
+			return r
+		}
+	}
+	return n - 1
+}
+
+func TestZipfPickMatchesLinearWalk(t *testing.T) {
+	cases := []struct {
+		n int
+		s float64
+	}{
+		{10, 1.1}, // the mixed scenario's exact shape
+		{1, 1.0},
+		{3, 0.7},
+		{128, 2.0},
+		{64, 0.0}, // uniform degenerate case
+	}
+	for _, tc := range cases {
+		for _, seed := range []uint64{1, 7, 0xdeadbeef} {
+			gOld := rng.NewSequential(seed)
+			gNew := rng.NewSequential(seed)
+			for i := 0; i < 4000; i++ {
+				want := zipfPickLinear(gOld, tc.n, tc.s)
+				got := zipfPick(gNew, tc.n, tc.s)
+				if got != want {
+					t.Fatalf("n=%d s=%g seed=%d draw %d: binary search picked %d, linear walk %d",
+						tc.n, tc.s, seed, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfPickIsSkewed(t *testing.T) {
+	g := rng.NewSequential(11)
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		counts[zipfPick(g, 10, 1.1)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("zipf draw not skewed toward rank 0: %v", counts)
+	}
+	for r, c := range counts {
+		if c == 0 {
+			t.Fatalf("rank %d never drawn in 20000 tries: %v", r, counts)
+		}
+	}
+}

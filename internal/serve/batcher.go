@@ -1,0 +1,224 @@
+package serve
+
+// The adaptive size-or-deadline coalescer. The first request for a
+// (prepared system × solver knobs) batch key becomes the leader of a
+// pending batch; concurrent identical requests append themselves as
+// followers. The batch flushes when either
+//
+//   - it reaches a width target (derived from observed batch widths, or
+//     pinned by Config.BatchTarget), or
+//   - the leader's deadline expires.
+//
+// The deadline adapts to the observed same-key arrival rate: an EWMA of
+// inter-arrival gaps estimates how long collecting the remaining width
+// would take, clamped to [0, BatchWindow]. Three regimes fall out:
+//
+//   - idle server (no solve holds the admission gate): deadline 0, the
+//     request runs immediately and pays no window sleep;
+//   - sparse traffic (gaps at least the window): followers are too
+//     unlikely to be worth the latency, deadline 0;
+//   - saturated traffic (gaps far below the window): the deadline is a
+//     few observed gaps, so a batch stops paying the full window once
+//     arrivals are fast — the width target usually fires first anyway.
+//
+// This is the MerkleBatcher shape of time-bounded audit-log batching
+// (flush on size OR deadline, stamp per-stage times), adapted to solve
+// coalescing where the "size" is the multi-RHS width.
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/method"
+)
+
+// ewmaAlpha weighs new observations into the gap and width EWMAs: heavy
+// enough to track a load shift within a few batches, light enough that
+// one straggler does not reset the estimate.
+const ewmaAlpha = 0.3
+
+// maxRateKeys bounds the per-key arrival-rate map. Batch keys are
+// unbounded in principle (they embed solver knobs), so on overflow the
+// map is dropped wholesale: the cost is re-learning a few EWMAs, never
+// unbounded memory.
+const maxRateKeys = 4096
+
+// arrivalRate is the per-batch-key arrival model.
+type arrivalRate struct {
+	last  time.Time
+	gapNS float64 // EWMA of inter-arrival gaps; 0 until two arrivals seen
+}
+
+// pendingBatch collects same-key solve items until flush.
+type pendingBatch struct {
+	items []*solveItem
+	// full is closed once the batch holds target items, waking the
+	// leader before its deadline.
+	full   chan struct{}
+	target int
+	// fullClosed guards the single close; mutated under the coalescer
+	// lock only.
+	fullClosed bool
+}
+
+// coalescer is the adaptive batcher state. All maps and EWMAs are
+// guarded by mu; the waiting itself happens outside the lock.
+type coalescer struct {
+	window time.Duration // Config.BatchWindow (deadline ceiling)
+	pinned int           // Config.BatchTarget; 0 adapts
+	maxT   int           // adaptive width-target ceiling
+
+	mu        sync.Mutex
+	pending   map[string]*pendingBatch
+	rates     map[string]*arrivalRate
+	widthEWMA float64 // EWMA of flushed batch widths
+}
+
+func newCoalescer(cfg Config) *coalescer {
+	maxT := 4 * cfg.MaxConcurrent
+	if maxT < 4 {
+		maxT = 4
+	}
+	return &coalescer{
+		window:    cfg.BatchWindow,
+		pinned:    cfg.BatchTarget,
+		maxT:      maxT,
+		pending:   map[string]*pendingBatch{},
+		rates:     map[string]*arrivalRate{},
+		widthEWMA: 1,
+	}
+}
+
+// noteArrival folds one arrival into the key's gap EWMA and returns the
+// updated estimate in nanoseconds (negative until two arrivals have been
+// seen — no rate information yet). Caller holds mu.
+func (c *coalescer) noteArrival(key string, now time.Time) float64 {
+	r, ok := c.rates[key]
+	if !ok {
+		if len(c.rates) >= maxRateKeys {
+			clear(c.rates)
+		}
+		c.rates[key] = &arrivalRate{last: now}
+		return -1
+	}
+	gap := float64(now.Sub(r.last))
+	r.last = now
+	if gap < 0 {
+		gap = 0
+	}
+	if r.gapNS == 0 {
+		r.gapNS = gap
+	} else {
+		r.gapNS = ewmaAlpha*gap + (1-ewmaAlpha)*r.gapNS
+	}
+	if r.gapNS <= 0 {
+		// Two arrivals in the same clock tick: call it one nanosecond so
+		// the estimate stays a usable rate rather than "no history".
+		r.gapNS = 1
+	}
+	return r.gapNS
+}
+
+// widthTarget returns the current flush width. Caller holds mu.
+func (c *coalescer) widthTarget() int {
+	if c.pinned > 0 {
+		return c.pinned
+	}
+	t := int(math.Ceil(2 * c.widthEWMA))
+	if t < 2 {
+		t = 2
+	}
+	if t > c.maxT {
+		t = c.maxT
+	}
+	return t
+}
+
+// recordWidth folds a flushed batch's width into the EWMA. Caller holds
+// mu.
+func (c *coalescer) recordWidth(w int) {
+	c.widthEWMA = ewmaAlpha*float64(w) + (1-ewmaAlpha)*c.widthEWMA
+}
+
+// adaptiveDeadline computes how long a leader should wait for followers.
+// gapNS is the key's inter-arrival EWMA (negative = no history), target
+// the batch width being collected, busy whether any solve currently
+// holds the admission gate. Pure function of its inputs, so the policy
+// is unit-testable without a server.
+func adaptiveDeadline(gapNS float64, window time.Duration, target int, busy bool) time.Duration {
+	if window <= 0 {
+		return 0
+	}
+	if !busy {
+		// Idle server: nothing queues behind in-flight work, so waiting
+		// buys nothing — run immediately.
+		return 0
+	}
+	if gapNS < 0 {
+		// No rate history for this key yet: pay the configured window
+		// once; the next batch will have an estimate.
+		return window
+	}
+	if gapNS >= float64(window) {
+		// Arrivals are sparser than the window itself: a follower within
+		// the window is unlikely, don't tax latency for it.
+		return 0
+	}
+	// Wait about as long as collecting the remaining width should take at
+	// the observed rate, never more than the configured window.
+	d := time.Duration(gapNS * float64(target-1))
+	if d > window {
+		d = window
+	}
+	return d
+}
+
+// solveCoalesced runs one right-hand side, merging it with concurrent
+// requests for the same prepared system and solver knobs under the
+// adaptive size-or-deadline policy described at the top of this file.
+func (s *Server) solveCoalesced(batchKey string, ps method.PreparedSystem, opts method.Opts, it *solveItem) {
+	if s.cfg.BatchWindow < 0 {
+		s.runBatch(ps, opts, []*solveItem{it})
+		return
+	}
+	c := s.coal
+	now := time.Now()
+	c.mu.Lock()
+	gapNS := c.noteArrival(batchKey, now)
+	if bt, ok := c.pending[batchKey]; ok {
+		// Follower: join the pending batch; reaching the width target
+		// flushes it early.
+		bt.items = append(bt.items, it)
+		if len(bt.items) >= bt.target && !bt.fullClosed {
+			bt.fullClosed = true
+			close(bt.full)
+		}
+		c.mu.Unlock()
+		<-it.done
+		return
+	}
+	bt := &pendingBatch{items: []*solveItem{it}, full: make(chan struct{}), target: c.widthTarget()}
+	c.pending[batchKey] = bt
+	c.mu.Unlock()
+
+	// Leader: wait for followers until the batch fills or the adaptive
+	// deadline expires. Contention is "some solve holds the gate" — the
+	// exact condition under which followers queue up behind in-flight
+	// work and batching pays.
+	if wait := adaptiveDeadline(gapNS, s.cfg.BatchWindow, bt.target, len(s.gate) > 0); wait > 0 {
+		deadline := time.NewTimer(wait)
+		select {
+		case <-bt.full:
+		case <-deadline.C:
+		}
+		deadline.Stop()
+	}
+
+	c.mu.Lock()
+	delete(c.pending, batchKey)
+	items := bt.items
+	c.recordWidth(len(items))
+	c.mu.Unlock()
+	s.runBatch(ps, opts, items)
+}

@@ -110,6 +110,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	fmt.Fprintf(&b, "# HELP asyrgsd_stage_duration_seconds Solve request wall time by processing stage.\n# TYPE asyrgsd_stage_duration_seconds histogram\n")
+	for _, st := range stageNames {
+		h := s.stageLat[st]
+		promHistogram(&b, "asyrgsd_stage_duration_seconds", "stage", st, h.Snapshot(), h.Sum())
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
 }

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -54,10 +55,19 @@ type Config struct {
 	// PrepCacheSize is the prepared-system LRU capacity; zero means
 	// 4×CacheSize (several methods per cached matrix).
 	PrepCacheSize int
-	// BatchWindow is how long the first request for a prepared system
+	// BatchWindow caps how long the first request for a prepared system
 	// waits for concurrent same-key requests to coalesce into one batched
-	// multi-RHS solve. Zero means 2ms; negative disables coalescing.
+	// multi-RHS solve. The actual wait adapts: it shrinks toward the
+	// observed same-key arrival rate and ends early when the batch
+	// reaches its width target, so an idle server runs immediately and a
+	// saturated one stops paying the full window per batch. Zero means
+	// 2ms; negative disables coalescing.
 	BatchWindow time.Duration
+	// BatchTarget pins the coalescer's flush width: a pending batch
+	// flushes as soon as it holds this many right-hand sides. Zero
+	// adapts the target from observed batch widths (clamped to
+	// [2, 4×MaxConcurrent]).
+	BatchTarget int
 	// SolveTimeout caps one solve batch's wall time; zero means 60s.
 	SolveTimeout time.Duration
 	// MaxDim rejects generator specs larger than this dimension; zero
@@ -118,28 +128,99 @@ type MatrixSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
-// key returns the canonical cache key: the kind plus a short content
-// hash of the spec.
-func (s MatrixSpec) key() string {
-	h := sha256.New()
-	if s.Kind == "mm" {
-		h.Write([]byte(s.MM))
-	} else {
-		fmt.Fprintf(h, "%s|%d|%d|%d|%d|%g|%d", s.Kind, s.N, s.Rows, s.Cols, s.NNZ, s.Dominance, s.Seed)
+// canonical returns the spec with per-kind defaults applied and fields
+// the kind's generator never reads zeroed out. key() hashes this form,
+// so two specs that build the identical matrix — {randomspd, NNZ:0} and
+// {randomspd, NNZ:6}, or a Laplacian with a stray seed — share one
+// cache entry instead of building and preparing the same system twice.
+// build consumes the canonical form too, so defaults live here alone.
+func (s MatrixSpec) canonical() MatrixSpec {
+	c := MatrixSpec{Kind: s.Kind}
+	switch s.Kind {
+	case "mm":
+		c.MM = s.MM
+	case "laplacian2d", "laplacian3d":
+		c.N = s.N
+	case "randomspd":
+		c.N, c.NNZ, c.Dominance, c.Seed = s.N, s.NNZ, s.Dominance, s.Seed
+		if c.NNZ <= 0 {
+			c.NNZ = 6
+		}
+		if c.Dominance <= 0 {
+			c.Dominance = 1.5
+		}
+	case "socialgram":
+		c.N, c.Seed = s.N, s.Seed
+	case "overdetermined":
+		c.Rows, c.Cols, c.NNZ, c.Seed = s.Rows, s.Cols, s.NNZ, s.Seed
+		if c.NNZ <= 0 {
+			c.NNZ = 6
+		}
+	default:
+		// Unknown kinds keep their raw fields; build rejects them anyway.
+		c = s
 	}
-	return s.Kind + ":" + hex.EncodeToString(h.Sum(nil))[:16]
+	return c
 }
 
-// build materializes the spec into a CSR matrix.
-func (s MatrixSpec) build(maxDim int) (*sparse.CSR, error) {
-	if s.Kind != "mm" {
-		if s.N > maxDim || s.Rows > maxDim || s.Cols > maxDim {
-			return nil, fmt.Errorf("spec dimension exceeds the daemon limit %d", maxDim)
-		}
+// key returns the canonical cache key: the kind plus a short content
+// hash of the canonicalized spec.
+func (s MatrixSpec) key() string {
+	c := s.canonical()
+	h := sha256.New()
+	if c.Kind == "mm" {
+		h.Write([]byte(c.MM))
+	} else {
+		fmt.Fprintf(h, "%s|%d|%d|%d|%d|%g|%d", c.Kind, c.N, c.Rows, c.Cols, c.NNZ, c.Dominance, c.Seed)
 	}
-	nnz := s.NNZ
-	if nnz <= 0 {
-		nnz = 6
+	return c.Kind + ":" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// satMul multiplies two non-negative int64s, saturating at MaxInt64 so
+// a hostile spec cannot overflow the dimension guard into acceptance.
+func satMul(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// dims returns the dimensions the generator kinds will materialize —
+// the grid-side field N expands to N² (laplacian2d) or N³ (laplacian3d)
+// unknowns, which is what the daemon's MaxDim guard must bound; the
+// spec field itself bounds nothing. "mm" returns zeros (its dimensions
+// are known only after parsing) and unknown kinds return zeros too.
+func (s MatrixSpec) dims() (rows, cols int64) {
+	n := int64(s.N)
+	switch s.Kind {
+	case "laplacian2d":
+		d := satMul(n, n)
+		return d, d
+	case "laplacian3d":
+		d := satMul(satMul(n, n), n)
+		return d, d
+	case "randomspd", "socialgram":
+		return n, n
+	case "overdetermined":
+		return int64(s.Rows), int64(s.Cols)
+	default:
+		return 0, 0
+	}
+}
+
+// build materializes the spec into a CSR matrix. The dimension guard
+// checks what the generator will actually allocate — a laplacian3d
+// request with n=65536 describes a ~2.8e14-unknown system even though
+// every spec field is small, and must be rejected before allocation.
+func (s MatrixSpec) build(maxDim int) (*sparse.CSR, error) {
+	s = s.canonical()
+	if s.Kind != "mm" {
+		if rows, cols := s.dims(); rows > int64(maxDim) || cols > int64(maxDim) {
+			return nil, fmt.Errorf("generated system would be %d x %d, exceeding the daemon's dimension limit %d", rows, cols, maxDim)
+		}
 	}
 	switch s.Kind {
 	case "mm":
@@ -165,11 +246,7 @@ func (s MatrixSpec) build(maxDim int) (*sparse.CSR, error) {
 		if s.N < 1 {
 			return nil, errors.New("randomspd needs n >= 1")
 		}
-		dom := s.Dominance
-		if dom <= 0 {
-			dom = 1.5
-		}
-		return workload.RandomSPD(s.N, nnz, dom, s.Seed), nil
+		return workload.RandomSPD(s.N, s.NNZ, s.Dominance, s.Seed), nil
 	case "socialgram":
 		if s.N < 1 {
 			return nil, errors.New("socialgram needs n >= 1")
@@ -180,7 +257,7 @@ func (s MatrixSpec) build(maxDim int) (*sparse.CSR, error) {
 		if s.Rows < 1 || s.Cols < 1 || s.Rows < s.Cols {
 			return nil, errors.New("overdetermined needs rows >= cols >= 1")
 		}
-		return workload.RandomOverdetermined(s.Rows, s.Cols, nnz, s.Seed), nil
+		return workload.RandomOverdetermined(s.Rows, s.Cols, s.NNZ, s.Seed), nil
 	default:
 		return nil, fmt.Errorf("unknown matrix kind %q (want mm|laplacian2d|laplacian3d|randomspd|socialgram|overdetermined)", s.Kind)
 	}
@@ -329,6 +406,10 @@ type Stats struct {
 	// served at least one request appear.
 	Latency       map[string]LatencySummary `json:"latency"`
 	MethodLatency map[string]LatencySummary `json:"method_latency,omitempty"`
+	// Stages summarizes per-request processing-stage durations
+	// (build/prepare/queue/solve/respond, see stages.go); every stage
+	// always appears so the block has a stable shape.
+	Stages map[string]LatencySummary `json:"stages"`
 }
 
 // CacheStats reports one session cache's counters.
@@ -389,10 +470,16 @@ type solveItem struct {
 	rctx context.Context
 	res  method.Result
 	err  error
-	// batchSize and done are written by the batch leader before the
-	// completion token is sent.
-	batchSize int
-	done      chan struct{}
+	// batchSize, done and the stage timestamps are written by the batch
+	// leader before the completion token is sent. enqueuedAt is stamped
+	// by the owning handler when the item becomes solve-ready;
+	// solveStart/solveEnd bracket the batched solve (zero when the batch
+	// was shed before solving).
+	batchSize  int
+	done       chan struct{}
+	enqueuedAt time.Time
+	solveStart time.Time
+	solveEnd   time.Time
 	// Pooled backing storage: the iterate, a generated right-hand side,
 	// its known solution, and the A-norm-error difference vector. b/x
 	// above point into these on the pooled path (but to request-owned or
@@ -422,6 +509,7 @@ func (s *Server) getItem() *solveItem {
 func (s *Server) putItem(it *solveItem) {
 	it.b, it.x, it.rctx = nil, nil, nil
 	it.res, it.err, it.batchSize = method.Result{}, nil, 0
+	it.enqueuedAt, it.solveStart, it.solveEnd = time.Time{}, time.Time{}, time.Time{}
 	it.self[0] = nil
 	s.itemPool.Put(it)
 }
@@ -450,11 +538,6 @@ func (s *Server) itemIterate(it *solveItem, n int, escapes bool) []float64 {
 	return x
 }
 
-// pendingBatch collects same-key solve items during the batch window.
-type pendingBatch struct {
-	items []*solveItem
-}
-
 // Server is the asyrgsd HTTP daemon state.
 type Server struct {
 	cfg         Config
@@ -464,8 +547,8 @@ type Server struct {
 	mux         *http.ServeMux
 	start       time.Time
 
-	batchMu sync.Mutex
-	pending map[string]*pendingBatch
+	// coal is the adaptive size-or-deadline coalescer (batcher.go).
+	coal *coalescer
 
 	requests  atomic.Uint64
 	solved    atomic.Uint64
@@ -484,12 +567,13 @@ type Server struct {
 	// regardless of matrix dimension).
 	itemPool sync.Pool
 
-	// Latency histograms (µs): per endpoint and per registry method.
-	// Both maps are built complete at construction and never written
-	// afterwards, so handlers read them without locking; the histograms
-	// themselves are atomic.
+	// Latency histograms (µs): per endpoint, per registry method, and
+	// per processing stage (stages.go). All maps are built complete at
+	// construction and never written afterwards, so handlers read them
+	// without locking; the histograms themselves are atomic.
 	endpointLat map[string]*stats.AtomicPow2Histogram
 	methodLat   map[string]*stats.AtomicPow2Histogram
+	stageLat    map[string]*stats.AtomicPow2Histogram
 }
 
 // New builds a Server.
@@ -502,16 +586,20 @@ func New(cfg Config) *Server {
 		gate:        make(chan struct{}, cfg.MaxConcurrent),
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
-		pending:     map[string]*pendingBatch{},
+		coal:        newCoalescer(cfg),
 		byMethod:    map[string]uint64{},
 		endpointLat: map[string]*stats.AtomicPow2Histogram{},
 		methodLat:   map[string]*stats.AtomicPow2Histogram{},
+		stageLat:    map[string]*stats.AtomicPow2Histogram{},
 	}
 	for _, ep := range endpoints {
 		s.endpointLat[ep] = &stats.AtomicPow2Histogram{}
 	}
 	for _, name := range method.Names() {
 		s.methodLat[name] = &stats.AtomicPow2Histogram{}
+	}
+	for _, st := range stageNames {
+		s.stageLat[st] = &stats.AtomicPow2Histogram{}
 	}
 	s.mux.HandleFunc("POST /solve", s.timed("/solve", s.handleSolve))
 	s.mux.HandleFunc("GET /methods", s.timed("/methods", s.handleMethods))
@@ -605,6 +693,7 @@ func (s *Server) snapshot() Stats {
 			st.MethodLatency[name] = summarize(snap, h.Sum())
 		}
 	}
+	st.Stages = s.stageSummaries()
 	return st
 }
 
@@ -664,6 +753,21 @@ func (s *Server) runBatch(ps method.PreparedSystem, opts method.Opts, items []*s
 	ctx, cancel := context.WithTimeout(parent, s.cfg.SolveTimeout)
 	defer cancel()
 
+	// Stage clocks: solveStart/solveEnd bracket the solve itself; the
+	// gap from each item's enqueuedAt to solveStart is its queue stage
+	// (coalescing wait plus gate wait). Written before the completion
+	// token, read by each handler after it.
+	solveStart := time.Now()
+	for _, it := range items {
+		it.solveStart = solveStart
+	}
+	defer func() {
+		end := time.Now()
+		for _, it := range items {
+			it.solveEnd = end
+		}
+	}()
+
 	if len(items) == 1 {
 		it := items[0]
 		it.res, it.err = ps.Solve(ctx, it.b, it.x, opts)
@@ -682,41 +786,6 @@ func (s *Server) runBatch(ps method.PreparedSystem, opts method.Opts, items []*s
 		}
 		it.err = err
 	}
-}
-
-// solveCoalesced runs one right-hand side, merging it with concurrent
-// requests for the same prepared system and solver knobs: the first
-// arrival becomes the batch leader, waits BatchWindow for followers, and
-// executes everyone's solve as one batched multi-RHS run.
-func (s *Server) solveCoalesced(batchKey string, ps method.PreparedSystem, opts method.Opts, it *solveItem) {
-	if s.cfg.BatchWindow < 0 {
-		s.runBatch(ps, opts, []*solveItem{it})
-		return
-	}
-	s.batchMu.Lock()
-	if bt, ok := s.pending[batchKey]; ok {
-		bt.items = append(bt.items, it)
-		s.batchMu.Unlock()
-		<-it.done
-		return
-	}
-	bt := &pendingBatch{items: []*solveItem{it}}
-	s.pending[batchKey] = bt
-	s.batchMu.Unlock()
-
-	// Wait for followers only when another solve already holds the gate:
-	// an idle server runs immediately (no flat latency tax), while under
-	// contention — exactly when batching pays — the window collects the
-	// requests queueing behind the in-flight work.
-	if len(s.gate) > 0 {
-		time.Sleep(s.cfg.BatchWindow)
-	}
-
-	s.batchMu.Lock()
-	delete(s.pending, batchKey)
-	items := bt.items
-	s.batchMu.Unlock()
-	s.runBatch(ps, opts, items)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -761,6 +830,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// drive setup concurrency past MaxConcurrent either (cache hits skip
 	// the gate entirely).
 	key := req.Matrix.key()
+	buildStart := time.Now()
 	a, hit, err := s.matrixCache.getOrBuild(key, func() (*sparse.CSR, error) {
 		if !s.acquireGate() {
 			return nil, errAtCapacity
@@ -768,6 +838,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer s.releaseGate()
 		return req.Matrix.build(s.cfg.MaxDim)
 	})
+	s.observeStage("build", time.Since(buildStart))
 	switch {
 	case errors.Is(err, errAtCapacity):
 		s.reject(w, "server at capacity (%d batches in flight); retry later", s.cfg.MaxConcurrent)
@@ -792,13 +863,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// never share an entry.
 		prepKey += "|" + pk.PrepKey(opts)
 	}
+	prepStart := time.Now()
 	ps, prepHit, err := s.prepCache.getOrBuild(prepKey, func() (method.PreparedSystem, error) {
 		if !s.acquireGate() {
 			return nil, errAtCapacity
 		}
 		defer s.releaseGate()
-		return method.Prepare(r.Context(), m, a, opts)
+		// The prepared system is shared by every coalesced waiter and by
+		// all future cache hits, so the build must not ride the first
+		// arrival's request context: a leader disconnecting mid-Prepare
+		// would fail every live follower with context.Canceled. Detach to
+		// the server's lifetime, capped by the per-solve budget.
+		pctx, cancel := context.WithTimeout(context.Background(), s.cfg.SolveTimeout)
+		defer cancel()
+		return method.Prepare(pctx, m, a, opts)
 	})
+	s.observeStage("prepare", time.Since(prepStart))
 	switch {
 	case errors.Is(err, errAtCapacity):
 		s.reject(w, "server at capacity (%d batches in flight); retry later", s.cfg.MaxConcurrent)
@@ -865,6 +945,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	// Phase 2 — solve. An explicit bs request is already a batch; a
 	// single-RHS request is coalesced with concurrent identical requests.
+	// The enqueue stamp starts each item's queue stage (coalescing wait
+	// plus admission-gate wait, ended by the batch's solveStart).
+	enqueuedAt := time.Now()
+	for _, bi := range items {
+		bi.enqueuedAt = enqueuedAt
+	}
 	if explicitBatch {
 		s.runBatch(ps, opts, items)
 	} else {
@@ -872,6 +958,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	it := items[0]
+	// Queue and solve stages, once per request (an explicit batch's
+	// items share one batch, so the first item carries the timestamps).
+	// A batch shed at the gate never started solving and records neither.
+	if !it.solveStart.IsZero() {
+		s.observeStage("queue", it.solveStart.Sub(it.enqueuedAt))
+		s.observeStage("solve", it.solveEnd.Sub(it.solveStart))
+	}
 	switch {
 	case it.err == nil || errors.Is(it.err, method.ErrNotConverged):
 		// A budget-exhausted solve is still a well-formed answer.
@@ -896,6 +989,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.byMethod[req.Method]++
 	s.methodMu.Unlock()
 
+	respondStart := time.Now()
 	resp := SolveResponse{
 		Method: it.res.Method, Kind: m.Kind().String(), MatrixKey: key,
 		CacheHit: hit, PrepHit: prepHit, BatchSize: it.batchSize,
@@ -936,4 +1030,5 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.X = it.x
 	}
 	writeJSON(w, http.StatusOK, resp)
+	s.observeStage("respond", time.Since(respondStart))
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"sync/atomic"
+	"time"
 )
 
 // Pow2Bucket returns the histogram bucket of a value under the package's
@@ -31,6 +32,16 @@ type AtomicPow2Histogram struct {
 func (h *AtomicPow2Histogram) Observe(v uint64) {
 	h.counts[Pow2Bucket(v)].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveDuration folds one duration into the histogram under the
+// package's latency convention (microseconds); negative durations clamp
+// to zero so a stepped-on monotonic clock cannot corrupt the buckets.
+func (h *AtomicPow2Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d.Microseconds()))
 }
 
 // Sum returns the running total of all observed values.
