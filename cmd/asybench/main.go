@@ -61,6 +61,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "workload and direction-stream seed")
 		tol     = flag.Float64("tol", 1e-8, "Flexible-CG convergence tolerance (paper: 1e-8)")
 		threads = flag.String("threads", "1,2,4,8,16,32,64", "comma-separated thread counts")
+		prec    = flag.String("precision", "f64", "matrix value storage for the methods experiment: f64 or f32 (the hotpath grid always sweeps both)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 	cfg.Sweeps = *sweeps
 	cfg.Repeats = *repeats
 	cfg.Seed = *seed
+	cfg.Precision = *prec
 	cfg.Out = os.Stdout
 	cfg.Threads = nil
 	for _, f := range strings.Split(*threads, ",") {

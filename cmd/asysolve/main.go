@@ -7,7 +7,8 @@
 //
 //	asysolve -A matrix.mtx [-b rhs.mtx] [-method name | -method list]
 //	         [-tol 1e-6] [-maxsweeps 1000] [-workers P] [-beta b] [-inner k]
-//	         [-queue-cap c] [-chunk k] [-timeout d] [-o solution.mtx] [-repeat k]
+//	         [-queue-cap c] [-chunk k] [-precision f64|f32] [-timeout d]
+//	         [-o solution.mtx] [-repeat k]
 //
 // When -b is omitted a random right-hand side with known solution is
 // generated, and the final A-norm error is reported alongside the
@@ -53,6 +54,7 @@ func main() {
 		checkEvery = flag.Int("check", 5, "sweeps between residual checks")
 		queueCap   = flag.Int("queue-cap", 0, "per-peer message-queue budget of the sharded asyrgs-distmem backend (0 = default 4)")
 		chunk      = flag.Int("chunk", 0, "iteration-claiming granularity of the asynchronous methods (0 = auto)")
+		precision  = flag.String("precision", "f64", "matrix value storage: f64, or f32 for float32 values with float64 accumulation (coordinate methods only)")
 		timeout    = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		outPath    = flag.String("o", "", "write the solution as an n×1 MatrixMarket file")
 		seed       = flag.Uint64("seed", 1, "seed for directions and generated RHS")
@@ -122,10 +124,18 @@ func main() {
 	if !measureDelay {
 		fmt.Printf("claiming chunk %d: delay measurement disabled\n", *chunk)
 	}
+	prec, err := method.CanonPrecision(*precision)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	opts := method.Opts{
 		Tol: *tol, MaxSweeps: *maxSweeps, Workers: *workers,
 		Beta: *beta, Seed: *seed, Inner: *inner, CheckEvery: *checkEvery,
 		QueueCap: *queueCap, Chunk: *chunk, XStar: xstar, MeasureDelay: measureDelay,
+		Precision: prec,
+	}
+	if prec == "f32" {
+		fmt.Println("float32 value storage: iterating on fl32(A)·x = b with float64 accumulation")
 	}
 
 	// Phase 1: capture the per-matrix state once.

@@ -7,16 +7,25 @@ import (
 	"time"
 
 	"github.com/asynclinalg/asyrgs/internal/core"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
 )
 
-// HotpathRow is one cell of the sampler × workers × chunk-size grid that
-// measures the rebuilt inner loop: O(1) alias sampling against the
-// legacy binary-search CDF, and chunked iteration claiming against
-// one-CAS-per-iteration, at fixed work. The BENCH_hotpath.json artifact
-// CI regenerates on every PR is the serialized grid.
+// HotpathRow is one cell of the sampler × workers × chunk × precision ×
+// kernel grid that measures the rebuilt inner loop: O(1) alias sampling
+// against the legacy binary-search CDF, chunked iteration claiming
+// against one-CAS-per-iteration, float32 value storage against float64,
+// and the unrolled row kernels against the scalar ablation baseline —
+// all at fixed work. The BENCH_hotpath.json artifact CI regenerates on
+// every PR is the serialized grid.
 type HotpathRow struct {
 	// Sampler is uniform | weighted-alias | weighted-cdf.
 	Sampler string `json:"sampler"`
+	// Precision is the matrix value-storage width: f64 | f32.
+	Precision string `json:"precision"`
+	// Kernel names the row-dot/axpy dispatch in effect: "scalar" is the
+	// ablation baseline, otherwise the build's unrolled variant
+	// ("unroll4", or "unroll8-v3" under GOAMD64=v3).
+	Kernel  string `json:"kernel"`
 	Workers int    `json:"workers"`
 	// Chunk is the claiming granularity; 0 reports the auto-sized default.
 	Chunk      int     `json:"chunk"`
@@ -24,6 +33,11 @@ type HotpathRow struct {
 	Iterations uint64  `json:"iterations"`
 	WallMS     float64 `json:"wall_ms"`     // median over Repeats
 	NSPerIter  float64 `json:"ns_per_iter"` // WallMS normalised per coordinate update
+	// BytesPerIter is the estimated cache footprint of one coordinate
+	// update (mean row values + column indices + touched vector entries)
+	// — the quantity the chunk auto-sizer fits to L2, halved on the value
+	// side by f32 storage.
+	BytesPerIter int `json:"bytes_per_iter"`
 }
 
 // hotpathSampler names one sampler configuration of the grid.
@@ -32,13 +46,26 @@ type hotpathSampler struct {
 	opts core.Options
 }
 
+// hotpathVariant is one precision × kernel cell. The default variant
+// (f64, build kernels) sweeps the full chunk grid; the ablation variants
+// run at the auto-sized chunk only, keeping the grid linear rather than
+// fully crossed in its cheap dimensions.
+type hotpathVariant struct {
+	precision string
+	kernel    string
+	f32       bool
+	scalar    bool
+}
+
 // Hotpath sweeps the direction-sampling and iteration-claiming hot path
-// over sampler implementations, worker counts and claiming chunk sizes,
-// running fixed-work asynchronous sweeps on the Gram workload. Nil
-// workers/chunks select defaults sized for CI. The direction multiset is
-// identical across every cell of a sampler row (pure function of
-// (seed, j)), so the grid isolates the cost of the selection structure
-// and of counter contention.
+// over sampler implementations, worker counts, claiming chunk sizes,
+// value-storage precisions and kernel dispatch, running fixed-work
+// asynchronous sweeps on the Gram workload. Nil workers/chunks select
+// defaults sized for CI. The direction multiset is identical across
+// every cell of a sampler row (pure function of (seed, j), with weights
+// kept float64 even at f32 storage), so the grid isolates the cost of
+// the selection structure, counter contention, memory traffic and
+// kernel shape.
 func (r *Runner) Hotpath(sweeps int, workers, chunks []int) []HotpathRow {
 	r.Prepare()
 	if sweeps <= 0 {
@@ -65,42 +92,69 @@ func (r *Runner) Hotpath(sweeps int, workers, chunks []int) []HotpathRow {
 		{"weighted-alias", core.Options{DiagonalWeighted: true}},
 		{"weighted-cdf", core.Options{DiagonalWeighted: true, WeightedCDF: true}},
 	}
+	variants := []hotpathVariant{
+		{"f64", sparse.KernelName(), false, false},
+		{"f64", "scalar", false, true},
+		{"f32", sparse.KernelName(), true, false},
+		{"f32", "scalar", true, true},
+	}
 
 	prep, err := core.PrepareMatrix(r.Gram)
 	if err != nil {
 		panic(err)
 	}
 	n := r.Gram.Rows
+	meanNNZ := r.Gram.NNZ() / n
 	iters := uint64(sweeps) * uint64(n)
 
-	r.printf("\n== Hotpath grid: sampler × workers × chunk (%d fixed sweeps on n=%d, median of %d) ==\n", sweeps, n, repeats)
-	r.printf("%-16s %-8s %-7s %-10s %-10s\n", "sampler", "workers", "chunk", "wall-ms", "ns/iter")
+	defer sparse.SetScalarKernels(sparse.ScalarKernels())
+
+	cell := func(smp hotpathSampler, v hotpathVariant, w, chunk int) HotpathRow {
+		sparse.SetScalarKernels(v.scalar)
+		opts := smp.opts
+		opts.Workers = w
+		opts.Chunk = chunk
+		opts.Seed = r.Cfg.Seed
+		opts.Float32 = v.f32
+		ds := make([]time.Duration, 0, repeats)
+		for rep := 0; rep < repeats; rep++ {
+			s, err := core.NewFromPrep(prep, opts)
+			if err != nil {
+				panic(err)
+			}
+			x := make([]float64, n)
+			ds = append(ds, timeIt(func() { s.AsyncSweeps(x, r.b1, sweeps) }))
+		}
+		med := median(ds)
+		valBytes := 8
+		if v.f32 {
+			valBytes = 4
+		}
+		row := HotpathRow{
+			Sampler: smp.name, Precision: v.precision, Kernel: v.kernel,
+			Workers: w, Chunk: chunk,
+			Sweeps: sweeps, Iterations: iters,
+			WallMS:       ms(med),
+			NSPerIter:    float64(med.Nanoseconds()) / float64(iters),
+			BytesPerIter: meanNNZ*(valBytes+8) + 24,
+		}
+		r.printf("%-16s %-5s %-12s %-8d %-7d %-10.3f %-10.1f\n",
+			row.Sampler, row.Precision, row.Kernel, row.Workers, row.Chunk, row.WallMS, row.NSPerIter)
+		return row
+	}
+
+	r.printf("\n== Hotpath grid: sampler × precision × kernel × workers × chunk (%d fixed sweeps on n=%d, median of %d) ==\n", sweeps, n, repeats)
+	r.printf("%-16s %-5s %-12s %-8s %-7s %-10s %-10s\n", "sampler", "prec", "kernel", "workers", "chunk", "wall-ms", "ns/iter")
 	var rows []HotpathRow
 	for _, smp := range samplers {
 		for _, w := range workers {
+			// Chunk sweep at the default precision and kernel dispatch.
 			for _, chunk := range chunks {
-				opts := smp.opts
-				opts.Workers = w
-				opts.Chunk = chunk
-				opts.Seed = r.Cfg.Seed
-				ds := make([]time.Duration, 0, repeats)
-				for rep := 0; rep < repeats; rep++ {
-					s, err := core.NewFromPrep(prep, opts)
-					if err != nil {
-						panic(err)
-					}
-					x := make([]float64, n)
-					ds = append(ds, timeIt(func() { s.AsyncSweeps(x, r.b1, sweeps) }))
-				}
-				med := median(ds)
-				row := HotpathRow{
-					Sampler: smp.name, Workers: w, Chunk: chunk,
-					Sweeps: sweeps, Iterations: iters,
-					WallMS:    ms(med),
-					NSPerIter: float64(med.Nanoseconds()) / float64(iters),
-				}
-				rows = append(rows, row)
-				r.printf("%-16s %-8d %-7d %-10.3f %-10.1f\n", row.Sampler, row.Workers, row.Chunk, row.WallMS, row.NSPerIter)
+				rows = append(rows, cell(smp, variants[0], w, chunk))
+			}
+			// Precision × kernel ablations at the auto-sized chunk.
+			for _, v := range variants[1:] {
+				rows = append(rows, cell(smp, v, w, 0))
 			}
 		}
 	}

@@ -6,12 +6,24 @@
 // across the solver families.
 package claim
 
-// Size resolves the claiming granularity. An explicit positive size
-// wins; otherwise the chunk is total/(workers·16) clamped to [1, 256] —
-// large enough that the shared counter stops being the bottleneck,
-// small enough that P workers strand at most a few percent of the
-// budget in partially-unfinished chunks at the tail.
+// Size resolves the claiming granularity with the legacy fixed [1, 256]
+// clamp, for callers that cannot estimate their per-iteration footprint.
+// It is SizeFor with rowBytes = 0.
 func Size(explicit int, total uint64, workers int) int {
+	return SizeFor(explicit, total, workers, 0)
+}
+
+// SizeFor resolves the claiming granularity. An explicit positive size
+// wins; otherwise the chunk is total/(workers·16) — large enough that the
+// shared counter stops being the bottleneck, small enough that P workers
+// strand at most a few percent of the budget in partially-unfinished
+// chunks at the tail — clamped to [1, MaxChunk(rowBytes)] so the
+// bulk-generated direction buffer plus the row slices one chunk touches
+// stay resident in L2 while the worker streams through them (see
+// probe.go). rowBytes is the caller's estimate of bytes touched per
+// iteration (mean row values + indices + iterate/rhs entries); rowBytes
+// <= 0 falls back to the legacy 256-iteration cap.
+func SizeFor(explicit int, total uint64, workers int, rowBytes int) int {
 	if explicit > 0 {
 		return explicit
 	}
@@ -19,11 +31,12 @@ func Size(explicit int, total uint64, workers int) int {
 		workers = 1
 	}
 	k := int(total / uint64(workers*16))
+	cap := MaxChunk(rowBytes)
 	switch {
 	case k < 1:
 		return 1
-	case k > 256:
-		return 256
+	case k > cap:
+		return cap
 	}
 	return k
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/asynclinalg/asyrgs/internal/atomicfloat"
 	"github.com/asynclinalg/asyrgs/internal/rng"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/vec"
 )
 
@@ -107,6 +108,7 @@ func (s *Solver) runAsyncRange(x, b []float64, start, end uint64, workers int) {
 // is generated in one pass per block, like the shared-counter path.
 func (s *Solver) asyncWorkerOwned(x, b []float64, stream rng.Stream, smp sampler, lo, hi uint64, worker, chunk int, committed *atomic.Uint64) {
 	a := s.a
+	a32 := s.a32
 	beta := s.beta
 	nonAtomic := s.opts.NonAtomic
 	measure := s.opts.MeasureDelay
@@ -126,11 +128,14 @@ func (s *Solver) asyncWorkerOwned(x, b []float64, stream rng.Stream, smp sampler
 			}
 			r := int(picks[t])
 			var dot float64
-			if nonAtomic {
-				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-					dot += a.Vals[k] * x[a.ColIdx[k]]
-				}
-			} else {
+			switch {
+			case a32 != nil && nonAtomic:
+				dot = a32.RowDot(r, x)
+			case a32 != nil:
+				dot = a32.RowDotAtomic(r, x)
+			case nonAtomic:
+				dot = a.RowDot(r, x)
+			default:
 				dot = a.RowDotAtomic(r, x)
 			}
 			gamma := (b[r] - dot) * s.invD[r]
@@ -161,6 +166,7 @@ func (s *Solver) asyncWorkerOwned(x, b []float64, stream rng.Stream, smp sampler
 // replays the identical direction multiset.
 func (s *Solver) asyncWorker(x, b []float64, stream rng.Stream, smp sampler, counter *atomic.Uint64, end uint64, worker, chunk int) {
 	a := s.a
+	a32 := s.a32
 	beta := s.beta
 	nonAtomic := s.opts.NonAtomic
 	measure := s.opts.MeasureDelay
@@ -189,11 +195,14 @@ func (s *Solver) asyncWorker(x, b []float64, stream rng.Stream, smp sampler, cou
 			// data races; the NonAtomic ablation uses genuinely plain
 			// accesses, reproducing the paper's §9 experiment exactly.
 			var dot float64
-			if nonAtomic {
-				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-					dot += a.Vals[k] * x[a.ColIdx[k]]
-				}
-			} else {
+			switch {
+			case a32 != nil && nonAtomic:
+				dot = a32.RowDot(r, x)
+			case a32 != nil:
+				dot = a32.RowDotAtomic(r, x)
+			case nonAtomic:
+				dot = a.RowDot(r, x)
+			default:
 				dot = a.RowDotAtomic(r, x)
 			}
 			gamma := (b[r] - dot) * s.invD[r]
@@ -305,6 +314,7 @@ func (s *Solver) AsyncSweepsDense(x, b *vec.Dense, sweeps int) {
 func (s *Solver) asyncWorkerDense(x, b *vec.Dense, stream rng.Stream, smp sampler, counter *atomic.Uint64, end uint64, worker, chunk int) {
 	c := x.Cols
 	a := s.a
+	a32 := s.a32
 	beta := s.beta
 	nonAtomic := s.opts.NonAtomic
 	measure := s.opts.MeasureDelay
@@ -328,31 +338,29 @@ func (s *Solver) asyncWorkerDense(x, b *vec.Dense, stream rng.Stream, smp sample
 				throttle(worker, j)
 			}
 			r := int(picks[t])
-			brow := b.Row(r)
-			copy(gamma, brow)
-			if nonAtomic {
-				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-					av := a.Vals[k]
-					xrow := x.Row(a.ColIdx[k])
-					for col := 0; col < c; col++ {
-						gamma[col] -= av * xrow[col]
-					}
+			copy(gamma, b.Row(r))
+			switch {
+			case a32 != nil && nonAtomic:
+				for k := a32.RowPtr[r]; k < a32.RowPtr[r+1]; k++ {
+					sparse.Axpy(gamma, x.Row(a32.ColIdx[k]), -float64(a32.Vals[k]))
 				}
-			} else {
+			case a32 != nil:
+				for k := a32.RowPtr[r]; k < a32.RowPtr[r+1]; k++ {
+					sparse.AxpyAtomicRead(gamma, x.Row(a32.ColIdx[k]), -float64(a32.Vals[k]))
+				}
+			case nonAtomic:
 				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-					av := a.Vals[k]
-					xrow := x.Row(a.ColIdx[k])
-					for col := 0; col < c; col++ {
-						gamma[col] -= av * atomicfloat.Load(&xrow[col])
-					}
+					sparse.Axpy(gamma, x.Row(a.ColIdx[k]), -a.Vals[k])
+				}
+			default:
+				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+					sparse.AxpyAtomicRead(gamma, x.Row(a.ColIdx[k]), -a.Vals[k])
 				}
 			}
 			scale := beta * s.invD[r]
 			xrow := x.Row(r)
 			if nonAtomic {
-				for col := 0; col < c; col++ {
-					xrow[col] += scale * gamma[col]
-				}
+				sparse.Axpy(xrow, gamma, scale)
 			} else {
 				for col := 0; col < c; col++ {
 					atomicfloat.Add(&xrow[col], scale*gamma[col])

@@ -85,6 +85,14 @@ type Options struct {
 	// without DiagonalWeighted.
 	WeightedCDF bool
 
+	// Float32 stores the matrix values in float32 while accumulating all
+	// arithmetic in float64, halving value-array memory bandwidth on
+	// systems too large for cache. The iteration then solves the exact
+	// float64 system fl32(A)·x = b; relative to the original matrix the
+	// achievable residual is floored around √nnz·2⁻²⁴. Sampling weights
+	// stay on the float64 diagonal so direction sequences are unchanged.
+	Float32 bool
+
 	// Chunk is the number of global iteration indices a worker claims
 	// from the shared counter at a time. One CAS per chunk instead of one
 	// per iteration takes the counter off the critical path; the claimed
@@ -116,8 +124,9 @@ type Options struct {
 // solve from a shared Prep (NewFromPrep), or recycle one with Reinit.
 type Solver struct {
 	a         *sparse.CSR
+	a32       *sparse.CSR32 // non-nil under Options.Float32; hot loops read it instead of a
 	diag      []float64
-	invD      []float64    // 1/diag, hoisted out of the inner loop
+	invD      []float64    // 1/diag (1/fl32(diag) under Float32), hoisted out of the inner loop
 	diagCDF   []float64    // cumulative A_rr/tr(A), for the WeightedCDF ablation
 	diagAlias *alias.Table // O(1) alias table for DiagonalWeighted
 	beta      float64
@@ -130,6 +139,9 @@ type Solver struct {
 	// buffer for the synchronous chunked fill, residual vector.
 	pickBuf    []int32
 	resScratch []float64
+	// rowBytes estimates the bytes one iteration touches (mean row values
+	// + indices + iterate/rhs entries), feeding the cache-aware chunk cap.
+	rowBytes int
 	// delayHist[k] counts iterations whose observed delay fell in
 	// [2^(k-1), 2^k) (bucket 0 is delay 0); updated atomically.
 	delayHist [delayBuckets]uint64
@@ -222,7 +234,11 @@ func (s *Solver) Residual(x, b []float64) float64 {
 		s.resScratch = make([]float64, n)
 	}
 	r := s.resScratch[:n]
-	s.a.MulVec(r, x)
+	if s.a32 != nil {
+		s.a32.MulVec(r, x)
+	} else {
+		s.a.MulVec(r, x)
+	}
 	var num, den float64
 	for i := range r {
 		d := b[i] - r[i]

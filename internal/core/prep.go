@@ -37,6 +37,11 @@ type Prep struct {
 	aliasOnce sync.Once
 	diagAlias *alias.Table
 	aliasErr  error
+
+	f32Once sync.Once
+	a32     *sparse.CSR32
+	invD32  []float64
+	f32Err  error
 }
 
 // PrepareMatrix validates the matrix (square, non-zero diagonal) and
@@ -85,6 +90,37 @@ func (p *Prep) weightedAlias() (*alias.Table, error) {
 	return p.diagAlias, p.aliasErr
 }
 
+// float32View returns the float32-value storage view of the matrix plus
+// the reciprocal of the rounded diagonal, building both on first use. The
+// hot loops divide by fl32(A_rr) — not A_rr — so the fixed point is the
+// exact solution of the rounded system. Rounding that underflows a
+// diagonal entry to zero is rejected.
+func (p *Prep) float32View() (*sparse.CSR32, []float64, error) {
+	p.f32Once.Do(func() {
+		a32 := sparse.NewCSR32(p.a)
+		invD32 := make([]float64, len(p.diag))
+		for i, d := range p.diag {
+			d32 := float64(float32(d))
+			if d32 == 0 {
+				p.f32Err = fmt.Errorf("%w: row %d underflows float32", ErrZeroDiagonal, i)
+				return
+			}
+			invD32[i] = 1 / d32
+		}
+		p.a32, p.invD32 = a32, invD32
+	})
+	return p.a32, p.invD32, p.f32Err
+}
+
+// Float32View returns the memoized float32-storage view of the prepared
+// matrix (see Options.Float32), building and validating it on first use.
+// Callers that evaluate residuals outside a Solver — the registry's
+// batched SpMM residual pass — read the same view the iteration uses.
+func (p *Prep) Float32View() (*sparse.CSR32, error) {
+	a32, _, err := p.float32View()
+	return a32, err
+}
+
 // NewFromPrep forks a Solver from prepared per-matrix state. It performs
 // only option validation — no matrix traversal — so it is cheap enough to
 // call once per solve, giving each solve a fresh direction stream and
@@ -116,6 +152,23 @@ func (s *Solver) Reinit(p *Prep, opts Options) error {
 		return fmt.Errorf("core: negative claiming chunk %d", opts.Chunk)
 	}
 	s.a, s.diag, s.invD = p.a, p.diag, p.invD
+	s.a32 = nil
+	valBytes := 8
+	if opts.Float32 {
+		a32, invD32, err := p.float32View()
+		if err != nil {
+			return err
+		}
+		s.a32, s.invD = a32, invD32
+		valBytes = 4
+	}
+	// Per-iteration cache footprint for the chunk auto-sizer: mean row
+	// values + int column indices, plus the x, b and invD entries touched.
+	meanNNZ := 0
+	if p.a.Rows > 0 {
+		meanNNZ = p.a.NNZ() / p.a.Rows
+	}
+	s.rowBytes = meanNNZ*(valBytes+8) + 24
 	s.beta, s.opts = beta, opts
 	s.diagCDF, s.diagAlias = nil, nil
 	s.Reset()

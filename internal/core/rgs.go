@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/asynclinalg/asyrgs/internal/rng"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/vec"
 )
 
@@ -35,6 +36,7 @@ func (s *Solver) Sweeps(x, b []float64, sweeps int) {
 	stream := rng.NewStream(s.opts.Seed)
 	smp := s.newSampler(false)
 	picks := s.seqPicks()
+	a32 := s.a32
 	end := s.next + uint64(sweeps)*uint64(n)
 	for base := s.next; base < end; {
 		m := len(picks)
@@ -44,7 +46,13 @@ func (s *Solver) Sweeps(x, b []float64, sweeps int) {
 		smp.fill(stream, base, picks[:m], 0)
 		for t := 0; t < m; t++ {
 			r := int(picks[t])
-			gamma := (b[r] - s.a.RowDot(r, x)) * s.invD[r]
+			var dot float64
+			if a32 != nil {
+				dot = a32.RowDot(r, x)
+			} else {
+				dot = s.a.RowDot(r, x)
+			}
+			gamma := (b[r] - dot) * s.invD[r]
 			x[r] += s.beta * gamma
 		}
 		base += uint64(m)
@@ -76,22 +84,17 @@ func (s *Solver) SweepsDense(x, b *vec.Dense, sweeps int) {
 		smp.fill(stream, base, picks[:m], 0)
 		for t := 0; t < m; t++ {
 			r := int(picks[t])
-			brow := b.Row(r)
-			for col := 0; col < c; col++ {
-				gamma[col] = brow[col]
-			}
-			for k := s.a.RowPtr[r]; k < s.a.RowPtr[r+1]; k++ {
-				av := s.a.Vals[k]
-				xrow := x.Row(s.a.ColIdx[k])
-				for col := 0; col < c; col++ {
-					gamma[col] -= av * xrow[col]
+			copy(gamma, b.Row(r))
+			if a32 := s.a32; a32 != nil {
+				for k := a32.RowPtr[r]; k < a32.RowPtr[r+1]; k++ {
+					sparse.Axpy(gamma, x.Row(a32.ColIdx[k]), -float64(a32.Vals[k]))
+				}
+			} else {
+				for k := s.a.RowPtr[r]; k < s.a.RowPtr[r+1]; k++ {
+					sparse.Axpy(gamma, x.Row(s.a.ColIdx[k]), -s.a.Vals[k])
 				}
 			}
-			scale := s.beta * s.invD[r]
-			xrow := x.Row(r)
-			for col := 0; col < c; col++ {
-				xrow[col] += scale * gamma[col]
-			}
+			sparse.Axpy(x.Row(r), gamma, s.beta*s.invD[r])
 		}
 		base += uint64(m)
 	}
@@ -125,7 +128,11 @@ func (s *Solver) Solve(x, b []float64, tol float64, maxSweeps, checkEvery int) (
 // ResidualDense returns ‖B−AX‖_F / ‖B‖_F.
 func (s *Solver) ResidualDense(x, b *vec.Dense) float64 {
 	ax := vec.NewDense(x.Rows, x.Cols)
-	s.a.MulDense(ax.Data, x.Data, x.Cols, s.opts.Workers)
+	if s.a32 != nil {
+		s.a32.MulDensePar(ax.Data, x.Data, x.Cols, s.opts.Workers, sparse.PartitionContiguous)
+	} else {
+		s.a.MulDense(ax.Data, x.Data, x.Cols, s.opts.Workers)
+	}
 	var num, den float64
 	for i, v := range ax.Data {
 		d := b.Data[i] - v

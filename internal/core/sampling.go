@@ -185,5 +185,5 @@ func (s *Solver) chunkSize(total uint64) int {
 	if s.opts.MeasureDelay {
 		return 1
 	}
-	return claim.Size(s.opts.Chunk, total, s.opts.Workers)
+	return claim.SizeFor(s.opts.Chunk, total, s.opts.Workers, s.rowBytes)
 }

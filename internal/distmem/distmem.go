@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/asynclinalg/asyrgs/internal/alias"
 	"github.com/asynclinalg/asyrgs/internal/rng"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 )
@@ -57,6 +58,14 @@ type Config struct {
 	// equal-width contiguous blocks, so per-round work stays balanced on
 	// matrices with skewed row densities.
 	BalanceNNZ bool
+	// DiagonalWeighted draws each rank's coordinates with probability
+	// proportional to A_rr within its owned block (the Leventhal–Lewis
+	// distribution restricted to the block) instead of uniformly, through
+	// one O(1) Walker/Vose alias table per rank built once by Prepare.
+	// The draw stays a pure function of (rank stream, iteration index),
+	// so direction sequences remain deterministic and replay-free across
+	// rounds. Requires a positive diagonal.
+	DiagonalWeighted bool
 }
 
 // update is one committed coordinate delta, the only message type on the
@@ -89,6 +98,9 @@ type Prepared struct {
 	streams  []rng.Stream
 	beta     float64
 	queueCap int
+	// tabs holds one alias table per rank over its owned diagonal slice;
+	// nil when sampling is uniform (Config.DiagonalWeighted unset).
+	tabs []*alias.Table
 }
 
 // Prepare validates the system and captures the sharded per-matrix state.
@@ -126,7 +138,23 @@ func Prepare(a *sparse.CSR, cfg Config) (*Prepared, error) {
 	for i := range streams {
 		streams[i] = rng.NewStream(cfg.Seed ^ (uint64(i) * 0x9E3779B97F4A7C15))
 	}
-	return &Prepared{a: a, part: part, diag: diag, streams: streams, beta: beta, queueCap: queueCap}, nil
+	var tabs []*alias.Table
+	if cfg.DiagonalWeighted {
+		// One table per rank over its owned diagonal slice, built once
+		// here so every round (and every forked Solver) pays O(1) per
+		// draw. The alias builder rejects negative weights; zero entries
+		// were rejected above, so each block's distribution is valid.
+		tabs = make([]*alias.Table, w)
+		for id := 0; id < w; id++ {
+			lo, hi := part.Block(id)
+			tab, err := alias.New(diag[lo:hi])
+			if err != nil {
+				return nil, fmt.Errorf("distmem: diagonal-weighted sampling on rank %d block [%d,%d): %w", id, lo, hi, err)
+			}
+			tabs[id] = tab
+		}
+	}
+	return &Prepared{a: a, part: part, diag: diag, streams: streams, beta: beta, queueCap: queueCap, tabs: tabs}, nil
 }
 
 // Workers returns the rank count of the prepared deployment.
@@ -195,6 +223,10 @@ func (s *Solver) worker(id int) {
 	w := p.part.Workers()
 	local := make([]float64, p.a.Rows)
 	stream := p.streams[id]
+	var tab *alias.Table // non-nil: diagonal-weighted draw within the block
+	if p.tabs != nil {
+		tab = p.tabs[id]
+	}
 	for cmd := range s.cmds[id] {
 		copy(local, cmd.x)
 		inbox := cmd.inboxes[id]
@@ -244,7 +276,12 @@ func (s *Solver) worker(id int) {
 				break
 			}
 			applyAll()
-			r := lo + stream.IntnAt(cmd.base+uint64(j), hi-lo)
+			var r int
+			if tab != nil {
+				r = lo + tab.Pick(stream, cmd.base+uint64(j))
+			} else {
+				r = lo + stream.IntnAt(cmd.base+uint64(j), hi-lo)
+			}
 			if cmd.pick != nil {
 				cmd.pick(id, r)
 			}

@@ -1,0 +1,139 @@
+package distmem
+
+// Tests for the diagonal-weighted rank-local draw: per-rank alias tables
+// built once by Prepare, O(1) per pick, deterministic per (rank stream,
+// iteration index).
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// skewedSPD builds a diagonal matrix whose entries grow linearly, so the
+// weighted distribution is strongly non-uniform and trivially SPD.
+func skewedSPD(n int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, float64(i+1))
+	}
+	return coo.ToCSR()
+}
+
+func TestWeightedConverges(t *testing.T) {
+	a := workload.RandomSPD(150, 4, 1.5, 11)
+	b := workload.RandomRHS(150, 3)
+	x := make([]float64, 150)
+	cfg := Config{Workers: 4, QueueCap: 4, Seed: 5, DiagonalWeighted: true}
+	if _, _, err := SolveToTol(a, x, b, 1e-6, 10, 200, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedDrawDeterministicAndInBlock pins the sampling contract:
+// the weighted draw is a pure function of (rank stream, iteration
+// index) — two solvers from one Prepared replay identical per-rank
+// sequences — and every draw lands in the drawing rank's owned block.
+func TestWeightedDrawDeterministicAndInBlock(t *testing.T) {
+	a := skewedSPD(64)
+	b := workload.RandomRHS(64, 1)
+	cfg := Config{Workers: 4, QueueCap: 4, Seed: 9, DiagonalWeighted: true}
+
+	run := func() map[int][]int {
+		p, err := Prepare(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.NewSolver()
+		defer s.Close()
+		var mu sync.Mutex
+		picks := map[int][]int{}
+		s.onPick = func(worker, idx int) {
+			mu.Lock()
+			picks[worker] = append(picks[worker], idx)
+			mu.Unlock()
+		}
+		x := make([]float64, 64)
+		if _, err := s.Solve(context.Background(), x, b, 3); err != nil {
+			t.Fatal(err)
+		}
+		return picks
+	}
+
+	first := run()
+	second := run()
+	p, err := Prepare(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		lo, hi := p.Partition().Block(w)
+		if len(first[w]) == 0 {
+			t.Fatalf("rank %d drew nothing", w)
+		}
+		for _, idx := range first[w] {
+			if idx < lo || idx >= hi {
+				t.Fatalf("rank %d drew %d outside its block [%d,%d)", w, idx, lo, hi)
+			}
+		}
+		if len(first[w]) != len(second[w]) {
+			t.Fatalf("rank %d drew %d then %d coordinates", w, len(first[w]), len(second[w]))
+		}
+		for i := range first[w] {
+			if first[w][i] != second[w][i] {
+				t.Fatalf("rank %d pick %d: %d vs %d across identical runs", w, i, first[w][i], second[w][i])
+			}
+		}
+	}
+}
+
+// TestWeightedDrawFollowsDiagonal checks the distribution itself on one
+// rank: with diag ∝ i+1, the top half of the coordinates carries ~75% of
+// the weight, so its draw share must be far above the uniform 50%.
+func TestWeightedDrawFollowsDiagonal(t *testing.T) {
+	const n = 64
+	a := skewedSPD(n)
+	b := workload.RandomRHS(n, 1)
+	p, err := Prepare(a, Config{Workers: 1, QueueCap: 1, Seed: 2, DiagonalWeighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewSolver()
+	defer s.Close()
+	topHalf, total := 0, 0
+	s.onPick = func(_, idx int) {
+		if idx >= n/2 {
+			topHalf++
+		}
+		total++
+	}
+	x := make([]float64, n)
+	if _, err := s.Solve(context.Background(), x, b, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Expected share: sum(i+1, i in [n/2, n)) / sum(i+1, i in [0, n)) = 0.75.
+	share := float64(topHalf) / float64(total)
+	if share < 0.65 || share > 0.85 {
+		t.Fatalf("top-half draw share %.3f over %d draws, want ≈0.75", share, total)
+	}
+}
+
+func TestWeightedRejectsNegativeDiagonal(t *testing.T) {
+	coo := sparse.NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		coo.Add(i, i, 1)
+	}
+	coo.Add(2, 2, -3) // dedup sums to -2
+	a := coo.ToCSR()
+	if _, err := Prepare(a, Config{Workers: 2, DiagonalWeighted: true}); err == nil {
+		t.Fatal("negative diagonal must fail weighted preparation")
+	}
+	// The same matrix is fine for the uniform draw (non-SPD, but
+	// preparation only requires a non-zero diagonal).
+	if _, err := Prepare(a, Config{Workers: 2}); err != nil {
+		t.Fatalf("uniform preparation rejected a non-zero diagonal: %v", err)
+	}
+}

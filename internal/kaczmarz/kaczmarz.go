@@ -15,7 +15,6 @@ import (
 	"sync/atomic"
 
 	"github.com/asynclinalg/asyrgs/internal/alias"
-	"github.com/asynclinalg/asyrgs/internal/atomicfloat"
 	"github.com/asynclinalg/asyrgs/internal/claim"
 	"github.com/asynclinalg/asyrgs/internal/rng"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
@@ -46,17 +45,26 @@ type Options struct {
 	// budget and worker count. Row selection stays a pure function of
 	// (seed, j), so the chunk size never changes the projection multiset.
 	Chunk int
+	// Float32 stores the matrix values (and the row norms the projection
+	// divides by) in float32-rounded form while accumulating in float64;
+	// the iteration then projects onto the rows of fl32(A). Sampling
+	// stays on the float64 norms, keeping draw sequences identical
+	// across precisions.
+	Float32 bool
 }
 
 // Solver holds the matrix and the row-sampling distribution.
 type Solver struct {
-	a        *sparse.CSR
-	rowNorm2 []float64    // ‖A_i‖²
-	cdf      []float64    // cumulative ‖A_i‖²/‖A‖_F², for the CDF ablation
-	tab      *alias.Table // O(1) norm-weighted row draw
-	opts     Options
-	beta     float64
-	next     uint64
+	a         *sparse.CSR
+	a32       *sparse.CSR32 // non-nil under Options.Float32
+	rowNorm2  []float64     // ‖A_i‖² (of fl32(A) under Float32) — the projection divisor
+	sampNorm2 []float64     // float64 ‖A_i‖², the sampling weights (rejection path)
+	cdf       []float64     // cumulative ‖A_i‖²/‖A‖_F², for the CDF ablation
+	tab       *alias.Table  // O(1) norm-weighted row draw
+	opts      Options
+	beta      float64
+	next      uint64
+	rowBytes  int // per-iteration cache footprint estimate for chunk sizing
 }
 
 // prepCount counts PrepareMatrix calls; the Prepare/Solve pipeline tests
@@ -77,6 +85,11 @@ type Prep struct {
 	rowNorm2 []float64
 	cdf      []float64
 	tab      *alias.Table
+
+	f32Once    sync.Once
+	a32        *sparse.CSR32
+	rowNorm232 []float64
+	f32Err     error
 }
 
 // PrepareMatrix computes the row norms and the norm-weighted sampling
@@ -121,6 +134,31 @@ func PrepareMatrix(a *sparse.CSR) (*Prep, error) {
 // Matrix returns the prepared matrix (shared, do not mutate).
 func (p *Prep) Matrix() *sparse.CSR { return p.a }
 
+// float32View returns the float32-value view of the matrix and the row
+// norms of the rounded values, building both on first use. A nonzero row
+// whose norm underflows float32 storage is rejected: it would be sampled
+// (weights stay on the float64 norms) but have no finite projection.
+func (p *Prep) float32View() (*sparse.CSR32, []float64, error) {
+	p.f32Once.Do(func() {
+		a32 := sparse.NewCSR32(p.a)
+		n2 := make([]float64, a32.Rows)
+		for i := 0; i < a32.Rows; i++ {
+			var nz float64
+			for k := a32.RowPtr[i]; k < a32.RowPtr[i+1]; k++ {
+				v := float64(a32.Vals[k])
+				nz += v * v
+			}
+			if nz == 0 && p.rowNorm2[i] > 0 {
+				p.f32Err = fmt.Errorf("kaczmarz: row %d norm underflows float32", i)
+				return
+			}
+			n2[i] = nz
+		}
+		p.a32, p.rowNorm232 = a32, n2
+	})
+	return p.a32, p.rowNorm232, p.f32Err
+}
+
 // NewFromPrep forks a Solver from prepared per-matrix state, validating
 // only the options — no matrix traversal.
 func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
@@ -134,7 +172,25 @@ func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
 	if opts.Chunk < 0 {
 		return nil, errors.New("kaczmarz: negative claiming chunk")
 	}
-	return &Solver{a: p.a, rowNorm2: p.rowNorm2, cdf: p.cdf, tab: p.tab, opts: opts, beta: beta}, nil
+	s := &Solver{a: p.a, rowNorm2: p.rowNorm2, sampNorm2: p.rowNorm2,
+		cdf: p.cdf, tab: p.tab, opts: opts, beta: beta}
+	valBytes := 8
+	if opts.Float32 {
+		a32, n232, err := p.float32View()
+		if err != nil {
+			return nil, err
+		}
+		s.a32, s.rowNorm2 = a32, n232
+		valBytes = 4
+	}
+	meanNNZ := 0
+	if p.a.Rows > 0 {
+		meanNNZ = p.a.NNZ() / p.a.Rows
+	}
+	// One projection reads and scatters a full row: values + indices for
+	// both passes, plus the touched x entries and the b/norm scalars.
+	s.rowBytes = meanNNZ*(valBytes+8+8) + 24
+	return s, nil
 }
 
 // New validates and prepares a solver for A·x = b. Rows with zero norm are
@@ -158,7 +214,7 @@ func (s *Solver) pickRow(stream rng.Stream, j uint64) int {
 	if s.opts.Uniform {
 		for sub := uint64(0); ; sub++ {
 			i := stream.IntnAt(j*31+sub, s.a.Rows)
-			if s.rowNorm2[i] > 0 {
+			if s.sampNorm2[i] > 0 {
 				return i
 			}
 		}
@@ -170,18 +226,32 @@ func (s *Solver) pickRow(stream rng.Stream, j uint64) int {
 	return s.tab.Pick(stream, j)
 }
 
-// step performs one Kaczmarz projection for row i on iterate x, reading
-// through the supplied row product and writing through upd.
-func (s *Solver) step(x, b []float64, i int, atomicRead bool, upd func(idx int, delta float64)) {
+// step performs one Kaczmarz projection for row i on iterate x: a
+// gather-dot to form the correction, then a scatter-axpy back over the
+// row's support, both through the unrolled sparse kernels. concurrent
+// selects atomic reads and CAS adds for the multi-worker path.
+func (s *Solver) step(x, b []float64, i int, concurrent bool) {
 	var dot float64
-	if atomicRead {
+	switch {
+	case s.a32 != nil && concurrent:
+		dot = s.a32.RowDotAtomic(i, x)
+	case s.a32 != nil:
+		dot = s.a32.RowDot(i, x)
+	case concurrent:
 		dot = s.a.RowDotAtomic(i, x)
-	} else {
+	default:
 		dot = s.a.RowDot(i, x)
 	}
 	gamma := s.beta * (b[i] - dot) / s.rowNorm2[i]
-	for k := s.a.RowPtr[i]; k < s.a.RowPtr[i+1]; k++ {
-		upd(s.a.ColIdx[k], gamma*s.a.Vals[k])
+	switch {
+	case s.a32 != nil && concurrent:
+		s.a32.RowAxpyAtomic(i, x, gamma)
+	case s.a32 != nil:
+		s.a32.RowAxpy(i, x, gamma)
+	case concurrent:
+		s.a.RowAxpyAtomic(i, x, gamma)
+	default:
+		s.a.RowAxpy(i, x, gamma)
 	}
 }
 
@@ -198,7 +268,7 @@ func (s *Solver) Iterations(x, b []float64, m int) float64 {
 	if s.opts.Workers <= 1 {
 		for j := start; j < end; j++ {
 			i := s.pickRow(stream, j)
-			s.step(x, b, i, false, func(idx int, delta float64) { x[idx] += delta })
+			s.step(x, b, i, false)
 		}
 	} else {
 		// Chunked claiming: one CAS per chunk of indices instead of one
@@ -222,9 +292,7 @@ func (s *Solver) Iterations(x, b []float64, m int) float64 {
 					}
 					for j := base; j < top; j++ {
 						i := s.pickRow(stream, j)
-						s.step(x, b, i, true, func(idx int, delta float64) {
-							atomicfloat.Add(&x[idx], delta)
-						})
+						s.step(x, b, i, true)
 					}
 				}
 			}()
@@ -235,9 +303,9 @@ func (s *Solver) Iterations(x, b []float64, m int) float64 {
 	return s.Residual(x, b)
 }
 
-// chunkSize resolves the claiming granularity (see claim.Size).
+// chunkSize resolves the claiming granularity (see claim.SizeFor).
 func (s *Solver) chunkSize(total uint64) int {
-	return claim.Size(s.opts.Chunk, total, s.opts.Workers)
+	return claim.SizeFor(s.opts.Chunk, total, s.opts.Workers, s.rowBytes)
 }
 
 // Solve iterates until the relative residual reaches tol or maxIter
@@ -267,7 +335,11 @@ func (s *Solver) Solve(x, b []float64, tol float64, maxIter, checkEvery int) (in
 // Residual returns ‖b−Ax‖₂/‖b‖₂.
 func (s *Solver) Residual(x, b []float64) float64 {
 	r := make([]float64, s.a.Rows)
-	s.a.MulVec(r, x)
+	if s.a32 != nil {
+		s.a32.MulVec(r, x)
+	} else {
+		s.a.MulVec(r, x)
+	}
 	vec.Sub(r, b, r)
 	nb := vec.Nrm2(b)
 	if nb == 0 {

@@ -128,6 +128,16 @@ func TestSoakWarmRepeat(t *testing.T) {
 	if !strings.Contains(text, `asyrgsd_method_duration_seconds_count{method="asyrgs"} 24`) {
 		t.Fatalf("/metrics per-method histogram missing:\n%s", text)
 	}
+	// Size-band routing: every request in this run solves an N=64 system,
+	// so all 24 observations land in the small band and none elsewhere.
+	if !strings.Contains(text, `asyrgsd_sizeband_duration_seconds_count{band="lt1k"} 24`) {
+		t.Fatalf("/metrics size-band histogram did not route N=64 traffic to lt1k:\n%s", text)
+	}
+	for _, empty := range []string{"1k-100k", "gt100k"} {
+		if !strings.Contains(text, `asyrgsd_sizeband_duration_seconds_count{band="`+empty+`"} 0`) {
+			t.Fatalf("/metrics size band %q should be empty for N=64 traffic:\n%s", empty, text)
+		}
+	}
 }
 
 func TestSoakColdChurn(t *testing.T) {

@@ -3,6 +3,7 @@ package method
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,31 @@ func init() {
 		prepare: lsqPrepare("lsqcd-weighted", true, true)})
 }
 
+// resolvePrecision canonicalizes opts.Precision, reporting whether the
+// float32 storage view was requested.
+func resolvePrecision(opts Opts) (bool, error) {
+	p, err := CanonPrecision(opts.Precision)
+	if err != nil {
+		return false, err
+	}
+	return p == "f32", nil
+}
+
+// rejectF32 is the prepare-time guard of the methods without a float32
+// path: the Krylov recurrences and stationary baselines are not robust
+// to a perturbed operator at their registered tolerances, and the
+// sharded backend keeps one storage format across ranks.
+func rejectF32(name string, opts Opts) error {
+	f32, err := resolvePrecision(opts)
+	if err != nil {
+		return err
+	}
+	if f32 {
+		return fmt.Errorf("method: %s does not support precision \"f32\"", name)
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // AsyRGS / RGS family
 
@@ -58,6 +84,11 @@ type corePrepared struct {
 	prep       *core.Prep
 	baseOpts   core.Options
 	sequential bool
+	// a32 is non-nil when the system was prepared with Precision "f32":
+	// forked solvers iterate on the float32-storage view and the batched
+	// residual pass reads the same view, so convergence is judged against
+	// the system actually being solved.
+	a32 *sparse.CSR32
 	// pool recycles solvers (with their direction and residual scratch)
 	// across solves; concurrent solves each draw their own.
 	pool sync.Pool
@@ -67,7 +98,11 @@ type corePrepared struct {
 // carries the variant flags; sequential forces one worker (the
 // synchronous Randomized Gauss–Seidel iteration).
 func corePrepare(name string, baseOpts core.Options, sequential bool) prepareFunc {
-	return func(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+	return func(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
+		f32, err := resolvePrecision(opts)
+		if err != nil {
+			return nil, err
+		}
 		prep, err := core.PrepareMatrix(a)
 		if err != nil {
 			return nil, err
@@ -75,6 +110,14 @@ func corePrepare(name string, baseOpts core.Options, sequential bool) prepareFun
 		p := &corePrepared{
 			preparedBase: base(name, SPD, a),
 			prep:         prep, baseOpts: baseOpts, sequential: sequential,
+		}
+		if f32 {
+			// Build the rounded view eagerly so underflow surfaces at
+			// prepare time and the serving prep cache amortizes the copy.
+			if p.a32, err = prep.Float32View(); err != nil {
+				return nil, err
+			}
+			p.baseOpts.Float32 = true
 		}
 		if baseOpts.DiagonalWeighted {
 			// Surface the positive-diagonal requirement at prepare time;
@@ -192,7 +235,11 @@ func (p *corePrepared) SolveBatch(ctx context.Context, bs, xs [][]float64, opts 
 		step := min(opts.CheckEvery, opts.MaxSweeps-done)
 		s.AsyncSweepsDense(xblk, bblk, step)
 		done += step
-		residuals = p.a.BatchRelResiduals(bblk.Data, xblk.Data, c, opts.Workers)
+		if p.a32 != nil {
+			residuals = p.a32.BatchRelResiduals(bblk.Data, xblk.Data, c, opts.Workers)
+		} else {
+			residuals = p.a.BatchRelResiduals(bblk.Data, xblk.Data, c, opts.Workers)
+		}
 		all := true
 		for _, r := range residuals {
 			if !opts.converged(r) {
@@ -230,7 +277,10 @@ type cgPrepared struct {
 	preparedBase
 }
 
-func cgPrepare(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+func cgPrepare(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
+	if err := rejectF32("cg", opts); err != nil {
+		return nil, err
+	}
 	return &cgPrepared{preparedBase: base("cg", SPD, a)}, nil
 }
 
@@ -266,7 +316,10 @@ type fcgPrepared struct {
 	prep *core.Prep
 }
 
-func fcgPrepare(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+func fcgPrepare(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
+	if err := rejectF32("fcg", opts); err != nil {
+		return nil, err
+	}
 	prep, err := core.PrepareMatrix(a)
 	if err != nil {
 		return nil, err
@@ -334,7 +387,10 @@ type stationaryPrepared struct {
 }
 
 func stationaryPrepare(name string) prepareFunc {
-	return func(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+	return func(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
+		if err := rejectF32(name, opts); err != nil {
+			return nil, err
+		}
 		if a.Rows != a.Cols {
 			return nil, errors.New("method: " + name + " needs a square matrix")
 		}
@@ -411,20 +467,33 @@ func chunkedStationary(ctx context.Context, name string, a *sparse.CSR, b, x []f
 type kaczmarzPrepared struct {
 	preparedBase
 	prep *kaczmarz.Prep
+	f32  bool
 }
 
-func kaczmarzPrepare(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+func kaczmarzPrepare(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
+	f32, err := resolvePrecision(opts)
+	if err != nil {
+		return nil, err
+	}
 	prep, err := kaczmarz.PrepareMatrix(a)
 	if err != nil {
 		return nil, err
 	}
-	return &kaczmarzPrepared{preparedBase: base("kaczmarz", SPD, a), prep: prep}, nil
+	if f32 {
+		// Build and validate the rounded view eagerly (norm underflow is
+		// a prepare-time error); the Prep memoizes it for every fork.
+		if _, err := kaczmarz.NewFromPrep(prep, kaczmarz.Options{Float32: true}); err != nil {
+			return nil, err
+		}
+	}
+	return &kaczmarzPrepared{preparedBase: base("kaczmarz", SPD, a), prep: prep, f32: f32}, nil
 }
 
 func (p *kaczmarzPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
 	s, err := kaczmarz.NewFromPrep(p.prep, kaczmarz.Options{
 		Workers: opts.Workers, Seed: opts.Seed, Beta: opts.Beta, Chunk: opts.Chunk,
+		Float32: p.f32,
 	})
 	if err != nil {
 		return Result{}, err
@@ -465,25 +534,30 @@ type lsqPrepared struct {
 	prep       *lsq.Prep
 	sequential bool
 	weighted   bool
+	f32        bool
 }
 
 func lsqPrepare(name string, sequential, weighted bool) prepareFunc {
-	return func(_ context.Context, a *sparse.CSR, _ Opts) (PreparedSystem, error) {
+	return func(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
+		f32, err := resolvePrecision(opts)
+		if err != nil {
+			return nil, err
+		}
 		prep, err := lsq.PrepareMatrix(a)
 		if err != nil {
 			return nil, err
 		}
-		if weighted {
-			// Surface alias-table validation at prepare time; the table
-			// itself is memoized inside the Prep, so the serving prep
-			// cache amortizes its construction.
-			if _, err := lsq.NewFromPrep(prep, lsq.Options{NormWeighted: true}); err != nil {
+		if weighted || f32 {
+			// Surface alias-table and rounded-view validation at prepare
+			// time; both are memoized inside the Prep, so the serving prep
+			// cache amortizes their construction.
+			if _, err := lsq.NewFromPrep(prep, lsq.Options{NormWeighted: weighted, Float32: f32}); err != nil {
 				return nil, err
 			}
 		}
 		return &lsqPrepared{
 			preparedBase: base(name, LeastSquares, a),
-			prep:         prep, sequential: sequential, weighted: weighted,
+			prep:         prep, sequential: sequential, weighted: weighted, f32: f32,
 		}, nil
 	}
 }
@@ -496,7 +570,7 @@ func (p *lsqPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Res
 	}
 	s, err := lsq.NewFromPrep(p.prep, lsq.Options{
 		Workers: workers, Seed: opts.Seed, Beta: opts.Beta,
-		NormWeighted: p.weighted, Chunk: opts.Chunk,
+		NormWeighted: p.weighted, Chunk: opts.Chunk, Float32: p.f32,
 	})
 	if err != nil {
 		return Result{}, err

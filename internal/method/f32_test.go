@@ -1,0 +1,281 @@
+// Mixed-precision conformance: the coordinate-descent families accept
+// Opts{Precision: "f32"} and converge on the float32-rounded system
+// fl32(A)·x = b, so the suite runs them at tolerances above the storage
+// floor √nnz·2⁻²⁴ and compares against the float64 reference with a
+// bound that absorbs the κ(A)·2⁻²⁴ perturbation of the solution. The
+// Krylov and stationary methods, and the sharded distmem backend,
+// reject the knob outright — those rejections are pinned here too, as
+// is the prep-cache key separation the serving layer relies on.
+package method_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/krylov"
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// f32SPD and f32LSQ are the rosters that support float32 storage — the
+// coordinate families whose per-iteration work is row dots and axpys
+// over the value array. Deliberately a hand-written list, not a registry
+// query: adding a method that supports f32 means adding it here, so the
+// suite cannot silently skip it.
+var f32SPD = []string{
+	"asyrgs", "asyrgs-nonatomic", "asyrgs-partitioned", "asyrgs-weighted",
+	"rgs", "kaczmarz",
+}
+
+var f32LSQ = []string{"lsqcd", "lsqcd-async", "lsqcd-weighted"}
+
+// f32Rejectors must refuse the knob: Krylov recurrences and the
+// stationary splittings have no float32 storage path, and the distmem
+// backend owns its own replicated state.
+var f32Rejectors = []string{"cg", "fcg", "jacobi", "gs", "asyncjacobi", "asyrgs-distmem"}
+
+func TestFloat32SPDConformance(t *testing.T) {
+	// The f32 storage floor for these systems is ≈ √nnz·2⁻²⁴ ≈ 3e-6;
+	// 1e-4 is comfortably above it while still forcing real convergence.
+	const tol = 1e-4
+	systems := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"laplacian2d", workload.Laplacian2D(8, 8)},
+		{"randomspd", workload.RandomSPD(150, 6, 1.5, 7)},
+	}
+	for _, sys := range systems {
+		a := sys.a
+		b, _ := workload.RHSForSolution(a, 11)
+
+		xref := make([]float64, a.Cols)
+		if _, err := krylov.CG(a, xref, b, krylov.CGOptions{Tol: 1e-10}); err != nil {
+			t.Fatalf("%s: CG reference failed: %v", sys.name, err)
+		}
+
+		for _, name := range f32SPD {
+			name := name
+			t.Run(sys.name+"/"+name, func(t *testing.T) {
+				skipNonAtomicUnderRace(t, name)
+				m, err := method.Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				x := make([]float64, a.Cols)
+				res, err := m.Solve(context.Background(), a, b, x, method.Opts{
+					Tol: tol, MaxSweeps: budgetFor(name),
+					Workers: 2, Seed: 3, CheckEvery: 10, Precision: "f32",
+				})
+				if err != nil {
+					t.Fatalf("solve: %v (result %+v)", err, res)
+				}
+				if !res.Converged || res.Residual > tol {
+					t.Fatalf("did not converge: %+v", res)
+				}
+				// The f32 iterate solves fl32(A)·x = b; its distance to the
+				// f64 solution is bounded by κ(A)·(tol + 2⁻²⁴). The 8×8
+				// Laplacian's κ ≈ 40 dominates: 40·1e-4 = 4e-3, observed
+				// ≈ 1.3e-3.
+				if d := relDiff(x, xref); d > 5e-3 {
+					t.Fatalf("f32 solution disagrees with f64 CG reference by %.3e", d)
+				}
+			})
+		}
+	}
+}
+
+func TestFloat32LeastSquaresConformance(t *testing.T) {
+	// Normal-equation residuals square the conditioning, so the LSQ floor
+	// sits higher than the SPD one; 5e-4 is achievable on this system.
+	const tol = 5e-4
+	a := workload.RandomOverdetermined(120, 40, 5, 9)
+	b := workload.RandomRHS(a.Rows, 13)
+
+	ata := sparse.Gram(a)
+	atb := make([]float64, a.Cols)
+	a.ToCSC().MulTransVec(atb, b)
+	xref := make([]float64, a.Cols)
+	if _, err := krylov.CG(ata, xref, atb, krylov.CGOptions{Tol: 1e-12}); err != nil {
+		t.Fatalf("normal-equations reference failed: %v", err)
+	}
+
+	for _, name := range f32LSQ {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := method.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, a.Cols)
+			res, err := m.Solve(context.Background(), a, b, x, method.Opts{
+				Tol: tol, MaxSweeps: 40000, Workers: 2, Seed: 5, CheckEvery: 25,
+				Precision: "f32",
+			})
+			if err != nil {
+				t.Fatalf("solve: %v (result %+v)", err, res)
+			}
+			if !res.Converged || res.Residual > tol {
+				t.Fatalf("did not converge: %+v", res)
+			}
+			if d := relDiff(x, xref); d > 5e-3 {
+				t.Fatalf("f32 solution disagrees with normal equations by %.3e", d)
+			}
+		})
+	}
+}
+
+// TestFloat32DirectionStreamInvariance pins the design rule that makes
+// precision an apples-to-apples ablation: sampling weights stay float64,
+// so the f32 and f64 runs of a deterministic method draw the identical
+// coordinate sequence and run the same sweep count under fixed work.
+func TestFloat32DirectionStreamInvariance(t *testing.T) {
+	a := workload.RandomSPD(100, 5, 1.5, 21)
+	b := workload.RandomRHS(100, 22)
+	for _, name := range []string{"rgs", "kaczmarz"} {
+		m, err := method.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(prec string) method.Result {
+			x := make([]float64, 100)
+			res, err := m.Solve(context.Background(), a, b, x, method.Opts{
+				Tol: 0, MaxSweeps: 4, Workers: 1, Seed: 9, CheckEvery: 4,
+				Precision: prec,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, prec, err)
+			}
+			return res
+		}
+		r64, r32 := run("f64"), run("f32")
+		if r64.Sweeps != r32.Sweeps || r64.Iterations != r32.Iterations {
+			t.Fatalf("%s: fixed-work accounting diverged across precisions: f64 %+v vs f32 %+v",
+				name, r64, r32)
+		}
+		// Same directions, same exact-at-this-scale updates: the residuals
+		// differ only by storage rounding, far below 1e-4 relative.
+		if diff := r64.Residual - r32.Residual; diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("%s: residual diverged beyond rounding: f64 %.6g vs f32 %.6g",
+				name, r64.Residual, r32.Residual)
+		}
+	}
+}
+
+// TestFloat32ScaleMetamorphic extends the metamorphic scale relation to
+// f32 storage for the deterministic f32-capable methods: a power-of-two
+// scale is exact in float32 as well (fl32(4a) = 4·fl32(a)), so the
+// trajectory must replay sweep-for-sweep.
+func TestFloat32ScaleMetamorphic(t *testing.T) {
+	const tol = 1e-4
+	a := workload.Laplacian2D(8, 8)
+	b, _ := workload.RHSForSolution(a, 11)
+	m, err := method.Get("rgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(sa *sparse.CSR, sb []float64) ([]float64, method.Result) {
+		x := make([]float64, sa.Cols)
+		res, err := m.Solve(context.Background(), sa, sb, x, method.Opts{
+			Tol: tol, MaxSweeps: 5000, Workers: 1, Seed: 3, CheckEvery: 10,
+			Precision: "f32",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("did not converge: %+v", res)
+		}
+		return x, res
+	}
+	x0, res0 := solve(a, b)
+	x1, res1 := solve(scaleCSR(a, 4.0), scaleVec(b, 4.0))
+	if res1.Sweeps != res0.Sweeps {
+		t.Fatalf("f32 scaled trajectory stopped at %d sweeps, base at %d", res1.Sweeps, res0.Sweeps)
+	}
+	if d := relDiff(x1, x0); d > 2e-3 {
+		t.Fatalf("f32 scaled solution drifted by %.3e", d)
+	}
+}
+
+func TestFloat32Rejections(t *testing.T) {
+	a := workload.Laplacian2D(4, 4)
+	b := workload.RandomRHS(a.Rows, 1)
+	for _, name := range f32Rejectors {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := method.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, a.Cols)
+			_, err = m.Solve(context.Background(), a, b, x, method.Opts{
+				Tol: 1e-6, MaxSweeps: 10, Workers: 2, Precision: "f32",
+			})
+			if err == nil {
+				t.Fatalf("%s accepted precision \"f32\"", name)
+			}
+			if !strings.Contains(err.Error(), "f32") {
+				t.Fatalf("%s rejection does not name the precision: %v", name, err)
+			}
+		})
+	}
+
+	// An unknown spelling is a client error everywhere, including on
+	// methods that do support f32.
+	m, err := method.Get("asyrgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.Cols)
+	if _, err := m.Solve(context.Background(), a, b, x, method.Opts{
+		Tol: 1e-6, MaxSweeps: 10, Precision: "double",
+	}); err == nil {
+		t.Fatal("unknown precision spelling must be rejected")
+	}
+}
+
+// TestPrecisionPrepKey pins the serving contract: prepared-state caches
+// key on the canonical precision, so f32 and f64 requests over the same
+// matrix never share an entry, and spelling variants ("", "f64",
+// "float64") collapse to one.
+func TestPrecisionPrepKey(t *testing.T) {
+	m, err := method.Get("asyrgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, ok := m.(method.PrepKeyer)
+	if !ok {
+		t.Fatal("built-in methods must implement PrepKeyer for the precision knob")
+	}
+	for _, spelling := range []string{"", "f64", "float64"} {
+		if got := pk.PrepKey(method.Opts{Precision: spelling}); got != "p=f64" {
+			t.Fatalf("PrepKey(%q) = %q, want \"p=f64\"", spelling, got)
+		}
+	}
+	for _, spelling := range []string{"f32", "float32"} {
+		if got := pk.PrepKey(method.Opts{Precision: spelling}); got != "p=f32" {
+			t.Fatalf("PrepKey(%q) = %q, want \"p=f32\"", spelling, got)
+		}
+	}
+}
+
+// TestCanonPrecision pins the canonicalization table itself.
+func TestCanonPrecision(t *testing.T) {
+	for in, want := range map[string]string{
+		"": "f64", "f64": "f64", "float64": "f64",
+		"f32": "f32", "float32": "f32",
+	} {
+		got, err := method.CanonPrecision(in)
+		if err != nil || got != want {
+			t.Fatalf("CanonPrecision(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"f16", "double", "single", "F32", " f32"} {
+		if _, err := method.CanonPrecision(bad); err == nil {
+			t.Fatalf("CanonPrecision(%q) must fail", bad)
+		}
+	}
+}

@@ -58,8 +58,8 @@ type Preparer interface {
 // canonical string of exactly those fields; caches (the asyrgsd
 // prepared-system LRU) append it to their matrix×method key so requests
 // with different preparation-relevant options never share an entry.
-// Every built-in prepares from the matrix alone and does not implement
-// it.
+// Every funcMethod built-in keys on the storage precision; the sharded
+// distmem backend additionally keys on its deployment shape.
 type PrepKeyer interface {
 	PrepKey(opts Opts) string
 }

@@ -98,6 +98,18 @@ func (m *funcMethod) Prepare(ctx context.Context, a *sparse.CSR, opts Opts) (Pre
 	return m.prepare(ctx, a, opts)
 }
 
+// PrepKey canonicalizes the Opts fields every funcMethod's Prepare
+// consumes — today exactly the storage precision — so prepared-system
+// caches never share an entry between f64 and f32 preparations of the
+// same matrix. Unknown spellings key verbatim; Prepare rejects them.
+func (m *funcMethod) PrepKey(opts Opts) string {
+	p, err := CanonPrecision(opts.Precision)
+	if err != nil {
+		p = opts.Precision
+	}
+	return "p=" + p
+}
+
 func (m *funcMethod) Solve(ctx context.Context, a *sparse.CSR, b, x []float64, opts Opts) (Result, error) {
 	ps, err := m.Prepare(ctx, a, opts)
 	if err != nil {

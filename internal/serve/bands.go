@@ -1,0 +1,47 @@
+package serve
+
+// Per-matrix-size-band request latency. Solve latency is dominated by
+// the system's dimension, so one aggregate latency histogram mixes
+// incomparable populations; routing each solved request into a size band
+// keeps a small-system regression visible under large-system traffic
+// and vice versa. Bands are fixed (three covers the regimes the bench
+// grids exercise: toy, cache-resident, memory-bound) so the exposition
+// shape is stable. Summaries appear as the "size_bands" block of GET
+// /stats; the raw cumulative histograms as
+// asyrgsd_sizeband_duration_seconds on /metrics.
+
+import "time"
+
+// bandNames fixes the band set and its exposition order.
+var bandNames = []string{"lt1k", "1k-100k", "gt100k"}
+
+// bandFor buckets a system by row count: n < 1k, 1k ≤ n ≤ 100k,
+// n > 100k.
+func bandFor(rows int) string {
+	switch {
+	case rows < 1_000:
+		return "lt1k"
+	case rows <= 100_000:
+		return "1k-100k"
+	default:
+		return "gt100k"
+	}
+}
+
+// observeBand records one solved request's wall time into its matrix's
+// size band. The histogram map is built complete at construction, so the
+// lookup needs no lock.
+func (s *Server) observeBand(rows int, d time.Duration) {
+	s.bandLat[bandFor(rows)].ObserveDuration(d)
+}
+
+// bandSummaries builds the /stats size_bands block: every band always
+// appears, so dashboards see a stable shape from the first request.
+func (s *Server) bandSummaries() map[string]LatencySummary {
+	out := make(map[string]LatencySummary, len(bandNames))
+	for _, band := range bandNames {
+		h := s.bandLat[band]
+		out[band] = summarize(h.Snapshot(), h.Sum())
+	}
+	return out
+}

@@ -116,6 +116,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		promHistogram(&b, "asyrgsd_stage_duration_seconds", "stage", st, h.Snapshot(), h.Sum())
 	}
 
+	fmt.Fprintf(&b, "# HELP asyrgsd_sizeband_duration_seconds Solved request wall time by matrix size band.\n# TYPE asyrgsd_sizeband_duration_seconds histogram\n")
+	for _, band := range bandNames {
+		h := s.bandLat[band]
+		promHistogram(&b, "asyrgsd_sizeband_duration_seconds", "band", band, h.Snapshot(), h.Sum())
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
 }

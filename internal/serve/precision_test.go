@@ -1,0 +1,165 @@
+package serve
+
+// End-to-end tests for the serving-layer precision knob: the request
+// field is canonicalized and validated up front, flows into the
+// prepared-system cache key (f32 and f64 never share an entry), and an
+// f32 solve converges at a tolerance above the float32 storage floor.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPrecisionKnobEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	spec := MatrixSpec{Kind: "randomspd", N: 300, NNZ: 5, Seed: 4}
+
+	// f32 solve converges at a tolerance well above √nnz·2⁻²⁴.
+	out, resp := postSolve(t, ts, SolveRequest{
+		Matrix: spec, Method: "asyrgs", Tol: 1e-4, MaxSweeps: 2000, Workers: 2,
+		Precision: "f32",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("f32 solve status %d", resp.StatusCode)
+	}
+	if !out.Converged || out.Residual > 1e-4 {
+		t.Fatalf("f32 solve did not converge: %+v", out)
+	}
+
+	// The same matrix at f64 must prepare separately: matrix cache hit,
+	// prep cache miss (the PrepKey differs).
+	out64, _ := postSolve(t, ts, SolveRequest{
+		Matrix: spec, Method: "asyrgs", Tol: 1e-6, MaxSweeps: 2000, Workers: 2,
+	})
+	if !out64.CacheHit {
+		t.Fatal("f64 request over the same spec must hit the matrix cache")
+	}
+	if out64.PrepHit {
+		t.Fatal("f64 request must not reuse the f32 prepared system")
+	}
+
+	// Spelling variants canonicalize to one prep entry: "float32" after
+	// "f32" is a prep hit.
+	outAlias, _ := postSolve(t, ts, SolveRequest{
+		Matrix: spec, Method: "asyrgs", Tol: 1e-4, MaxSweeps: 2000, Workers: 2,
+		Precision: "float32",
+	})
+	if !outAlias.PrepHit {
+		t.Fatal("\"float32\" must share the prepared system keyed \"f32\"")
+	}
+
+	var st Stats
+	getJSON(t, ts, "/stats", &st)
+	if st.PrepCache.Misses != 2 {
+		t.Fatalf("want exactly 2 prepared systems (f32, f64), got %d misses", st.PrepCache.Misses)
+	}
+}
+
+func TestPrecisionKnobRejections(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	post := func(req SolveRequest) (int, string) {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	// Unknown spelling is rejected before any matrix work.
+	code, msg := post(SolveRequest{
+		Matrix: MatrixSpec{Kind: "randomspd", N: 32, NNZ: 4}, Method: "asyrgs",
+		Precision: "double",
+	})
+	if code != http.StatusBadRequest || !strings.Contains(msg, "precision") {
+		t.Fatalf("unknown precision: status %d, body %q", code, msg)
+	}
+
+	// A method without an f32 path fails preparation as a client error.
+	code, msg = post(SolveRequest{
+		Matrix: MatrixSpec{Kind: "randomspd", N: 32, NNZ: 4}, Method: "cg",
+		Tol: 1e-6, Precision: "f32",
+	})
+	if code != http.StatusBadRequest || !strings.Contains(msg, "f32") {
+		t.Fatalf("cg+f32: status %d, body %q", code, msg)
+	}
+}
+
+// TestSizeBandRouting pins bandFor and the /stats surface: requests land
+// in the band of their matrix dimension and nowhere else.
+func TestSizeBandRouting(t *testing.T) {
+	if got := bandFor(999); got != "lt1k" {
+		t.Fatalf("bandFor(999) = %q", got)
+	}
+	if got := bandFor(1000); got != "1k-100k" {
+		t.Fatalf("bandFor(1000) = %q", got)
+	}
+	if got := bandFor(100000); got != "1k-100k" {
+		t.Fatalf("bandFor(100000) = %q", got)
+	}
+	if got := bandFor(100001); got != "gt100k" {
+		t.Fatalf("bandFor(100001) = %q", got)
+	}
+
+	srv := New(Config{BatchWindow: -1})
+	h := srv.Handler()
+	solveN := func(n, times int) {
+		body, _ := json.Marshal(SolveRequest{
+			Matrix: MatrixSpec{Kind: "randomspd", N: n, NNZ: 4, Seed: 3},
+			Method: "asyrgs", FixedWork: true, MaxSweeps: 1, CheckEvery: 1, Workers: 1,
+		})
+		for i := 0; i < times; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("n=%d: status %d: %s", n, rec.Code, rec.Body.String())
+			}
+		}
+	}
+	solveN(64, 3)
+	solveN(1500, 2)
+
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SizeBands == nil {
+		t.Fatal("/stats missing size_bands")
+	}
+	want := map[string]uint64{"lt1k": 3, "1k-100k": 2, "gt100k": 0}
+	for band, n := range want {
+		got, ok := st.SizeBands[band]
+		if !ok {
+			t.Fatalf("size band %q missing from /stats", band)
+		}
+		if got.Count != n {
+			t.Fatalf("band %q holds %d observations, want %d", band, got.Count, n)
+		}
+	}
+
+	// The same counts appear on /metrics as labelled histogram series.
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	text := rec.Body.String()
+	for _, line := range []string{
+		`asyrgsd_sizeband_duration_seconds_count{band="lt1k"} 3`,
+		`asyrgsd_sizeband_duration_seconds_count{band="1k-100k"} 2`,
+		`asyrgsd_sizeband_duration_seconds_count{band="gt100k"} 0`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("/metrics missing %q:\n%s", line, text)
+		}
+	}
+}

@@ -294,6 +294,12 @@ type SolveRequest struct {
 	// CAS); zero auto-sizes. The direction sequence is chunk-invariant,
 	// so this is purely a performance knob.
 	Chunk int `json:"chunk,omitempty"`
+	// Precision selects the matrix value-storage precision: "" or "f64"
+	// is native float64; "f32" stores values as float32 with float64
+	// accumulation (halved value bandwidth, residual floor ~√nnz·2⁻²⁴;
+	// coordinate methods only). Consumed at Prepare time, so it is part
+	// of the prepared-system cache key.
+	Precision string `json:"precision,omitempty"`
 	// FixedWork runs the bench-style fixed-sweep mode: the solver spends
 	// the whole MaxSweeps budget with no convergence target (tol is
 	// ignored). Without it, a missing or non-positive tol defaults to
@@ -322,9 +328,9 @@ func (r SolveRequest) prepKey(matrixKey string) string {
 // batched solve. The right-hand side is deliberately absent — it is the
 // per-item payload.
 func (r SolveRequest) batchKey(matrixKey string) string {
-	return fmt.Sprintf("%s|t%g|m%d|w%d|b%g|s%d|i%d|c%d|q%d|k%d|f%v|d%v",
+	return fmt.Sprintf("%s|t%g|m%d|w%d|b%g|s%d|i%d|c%d|q%d|k%d|f%v|d%v|p%s",
 		r.prepKey(matrixKey), r.Tol, r.MaxSweeps, r.Workers, r.Beta, r.Seed, r.Inner,
-		r.CheckEvery, r.QueueCap, r.Chunk, r.FixedWork, r.MeasureDelay)
+		r.CheckEvery, r.QueueCap, r.Chunk, r.FixedWork, r.MeasureDelay, r.Precision)
 }
 
 // opts maps the request knobs onto method.Opts. FixedWork zeroes the
@@ -338,7 +344,7 @@ func (r SolveRequest) opts() method.Opts {
 		Tol: tol, MaxSweeps: r.MaxSweeps, Workers: r.Workers,
 		Beta: r.Beta, Seed: r.Seed, Inner: r.Inner,
 		CheckEvery: r.CheckEvery, QueueCap: r.QueueCap, Chunk: r.Chunk,
-		MeasureDelay: r.MeasureDelay,
+		MeasureDelay: r.MeasureDelay, Precision: r.Precision,
 	}
 }
 
@@ -410,6 +416,9 @@ type Stats struct {
 	// (build/prepare/queue/solve/respond, see stages.go); every stage
 	// always appears so the block has a stable shape.
 	Stages map[string]LatencySummary `json:"stages"`
+	// SizeBands summarizes solved-request wall time by matrix size band
+	// (bands.go: n < 1k, 1k–100k, > 100k); every band always appears.
+	SizeBands map[string]LatencySummary `json:"size_bands"`
 }
 
 // CacheStats reports one session cache's counters.
@@ -487,6 +496,10 @@ type solveItem struct {
 	xBuf, bBuf, xsBuf, dBuf []float64
 	// self avoids a slice allocation for single-item batches.
 	self [1]*solveItem
+	// dctx is the batch's pooled deadline context (see deadline.go); the
+	// batch leader's item hosts it, sparing the context.WithTimeout
+	// allocations per batch.
+	dctx deadlineCtx
 }
 
 // getItem returns a recycled solve item.
@@ -508,6 +521,7 @@ func (s *Server) getItem() *solveItem {
 // decoded right-hand side.
 func (s *Server) putItem(it *solveItem) {
 	it.b, it.x, it.rctx = nil, nil, nil
+	it.dctx.parent = nil
 	it.res, it.err, it.batchSize = method.Result{}, nil, 0
 	it.enqueuedAt, it.solveStart, it.solveEnd = time.Time{}, time.Time{}, time.Time{}
 	it.self[0] = nil
@@ -574,6 +588,10 @@ type Server struct {
 	endpointLat map[string]*stats.AtomicPow2Histogram
 	methodLat   map[string]*stats.AtomicPow2Histogram
 	stageLat    map[string]*stats.AtomicPow2Histogram
+	// bandLat routes solved-request latency by matrix size band
+	// (bands.go), so dimension-dominated latency populations are not
+	// mixed in one histogram.
+	bandLat map[string]*stats.AtomicPow2Histogram
 }
 
 // New builds a Server.
@@ -591,6 +609,7 @@ func New(cfg Config) *Server {
 		endpointLat: map[string]*stats.AtomicPow2Histogram{},
 		methodLat:   map[string]*stats.AtomicPow2Histogram{},
 		stageLat:    map[string]*stats.AtomicPow2Histogram{},
+		bandLat:     map[string]*stats.AtomicPow2Histogram{},
 	}
 	for _, ep := range endpoints {
 		s.endpointLat[ep] = &stats.AtomicPow2Histogram{}
@@ -600,6 +619,9 @@ func New(cfg Config) *Server {
 	}
 	for _, st := range stageNames {
 		s.stageLat[st] = &stats.AtomicPow2Histogram{}
+	}
+	for _, band := range bandNames {
+		s.bandLat[band] = &stats.AtomicPow2Histogram{}
 	}
 	s.mux.HandleFunc("POST /solve", s.timed("/solve", s.handleSolve))
 	s.mux.HandleFunc("GET /methods", s.timed("/methods", s.handleMethods))
@@ -694,6 +716,7 @@ func (s *Server) snapshot() Stats {
 		}
 	}
 	st.Stages = s.stageSummaries()
+	st.SizeBands = s.bandSummaries()
 	return st
 }
 
@@ -750,8 +773,12 @@ func (s *Server) runBatch(ps method.PreparedSystem, opts method.Opts, items []*s
 		s.coalesced.Add(uint64(len(items)))
 	}
 
-	ctx, cancel := context.WithTimeout(parent, s.cfg.SolveTimeout)
-	defer cancel()
+	// The solve budget rides the leader item's pooled deadline context
+	// instead of context.WithTimeout: every solver polls Err() between
+	// chunks of work, and the pooled form sheds the timer, cancel closure
+	// and context allocations per batch (see deadline.go).
+	items[0].dctx.reset(parent, s.cfg.SolveTimeout)
+	ctx := &items[0].dctx
 
 	// Stage clocks: solveStart/solveEnd bracket the solve itself; the
 	// gap from each item's enqueuedAt to solveStart is its queue stage
@@ -811,6 +838,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "b and bs are mutually exclusive")
 		return
 	}
+	// Canonicalize the precision up front: an unknown spelling is a client
+	// error, and the canonical form keeps batch and prep-cache keys from
+	// splitting on equivalent spellings ("" vs "f64").
+	prec, err := method.CanonPrecision(req.Precision)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req.Precision = prec
 	m, err := method.Get(req.Method)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
@@ -985,6 +1021,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.solved.Add(1)
+	s.observeBand(a.Rows, time.Since(start))
 	s.methodMu.Lock()
 	s.byMethod[req.Method]++
 	s.methodMu.Unlock()

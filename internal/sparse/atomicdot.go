@@ -1,7 +1,5 @@
 package sparse
 
-import "github.com/asynclinalg/asyrgs/internal/atomicfloat"
-
 // RowDotAtomic is RowDot with atomic loads of x. The asynchronous solvers
 // read the shared iterate while other goroutines commit atomic updates;
 // loading atomically keeps those executions free of data races (and costs
@@ -9,9 +7,6 @@ import "github.com/asynclinalg/asyrgs/internal/atomicfloat"
 // plain aligned load). The values observed are still arbitrarily stale —
 // the inconsistent-read model is about ordering, not tearing.
 func (m *CSR) RowDotAtomic(i int, x []float64) float64 {
-	var s float64
-	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-		s += m.Vals[k] * atomicfloat.Load(&x[m.ColIdx[k]])
-	}
-	return s
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return dot64Atomic(m.Vals[lo:hi], m.ColIdx[lo:hi], x)
 }

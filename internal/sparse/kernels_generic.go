@@ -1,0 +1,10 @@
+//go:build !amd64.v3
+
+package sparse
+
+// Portable baseline: 4 accumulators is the sweet spot for scalar SSE2
+// codegen — wider unrolls spill on the smaller effective register budget.
+const (
+	kernelWide = false
+	kernelName = "unroll4"
+)

@@ -1,0 +1,11 @@
+//go:build amd64.v3
+
+package sparse
+
+// Built with GOAMD64=v3 the compiler emits AVX2/FMA for the unrolled
+// bodies, and the wider 8-accumulator dot form keeps enough independent
+// chains in flight to saturate the two FMA ports.
+const (
+	kernelWide = true
+	kernelName = "unroll8-v3"
+)

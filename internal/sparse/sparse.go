@@ -179,21 +179,28 @@ func (m *CSR) MulVec(y, x []float64) {
 		panic(fmt.Sprintf("sparse: MulVec shape mismatch A=%dx%d len(x)=%d len(y)=%d", m.Rows, m.Cols, len(x), len(y)))
 	}
 	for i := 0; i < m.Rows; i++ {
-		var s float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Vals[k] * x[m.ColIdx[k]]
-		}
-		y[i] = s
+		y[i] = m.RowDot(i, x)
 	}
 }
 
-// RowDot returns A_i · x, the inner product of row i with x.
+// RowDot returns A_i · x, the inner product of row i with x, through the
+// unrolled gather-dot kernel (see kernels.go).
 func (m *CSR) RowDot(i int, x []float64) float64 {
-	var s float64
-	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-		s += m.Vals[k] * x[m.ColIdx[k]]
-	}
-	return s
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return dot64(m.Vals[lo:hi], m.ColIdx[lo:hi], x)
+}
+
+// RowAxpy adds g·A_i into x (x[j] += g·a_ij over row i's entries) — the
+// Kaczmarz-style scatter update, through the unrolled scatter kernel.
+func (m *CSR) RowAxpy(i int, x []float64, g float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	scatter64(x, m.Vals[lo:hi], m.ColIdx[lo:hi], g)
+}
+
+// RowAxpyAtomic is RowAxpy with CAS adds for concurrent writers.
+func (m *CSR) RowAxpyAtomic(i int, x []float64, g float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	scatter64Atomic(x, m.Vals[lo:hi], m.ColIdx[lo:hi], g)
 }
 
 // Partition selects how rows are assigned to workers in MulVecPar.
@@ -234,11 +241,7 @@ func (m *CSR) MulVecPar(y, x []float64, workers int, part Partition) {
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < m.Rows; i += workers {
-					var s float64
-					for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-						s += m.Vals[k] * x[m.ColIdx[k]]
-					}
-					y[i] = s
+					y[i] = m.RowDot(i, x)
 				}
 			}(w)
 		}
@@ -253,11 +256,7 @@ func (m *CSR) MulVecPar(y, x []float64, workers int, part Partition) {
 			go func(lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
-					var s float64
-					for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-						s += m.Vals[k] * x[m.ColIdx[k]]
-					}
-					y[i] = s
+					y[i] = m.RowDot(i, x)
 				}
 			}(lo, hi)
 		}
@@ -280,11 +279,8 @@ func (m *CSR) MulDense(ydata []float64, xdata []float64, c int, workers int) {
 				yrow[j] = 0
 			}
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-				v := m.Vals[k]
 				xrow := xdata[m.ColIdx[k]*c : (m.ColIdx[k]+1)*c]
-				for j, xv := range xrow {
-					yrow[j] += v * xv
-				}
+				Axpy(yrow, xrow, m.Vals[k])
 			}
 		}
 	}

@@ -12,6 +12,44 @@ import (
 // residual evaluation over many right-hand sides O(nnz + n·c) instead of
 // O(c·nnz) row-pointer traffic.
 
+// runRowLoop fans rowLoop(start, stride, limit) over workers under the
+// given partition; shared by the f64 and f32 dense kernels. workers <= 1
+// (or a small row count) runs serially.
+func runRowLoop(rows, workers int, part Partition, rowLoop func(start, stride, limit int)) {
+	if workers <= 1 || rows < 128 {
+		rowLoop(0, 1, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	switch part {
+	case PartitionRoundRobin:
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rowLoop(w, workers, rows)
+			}(w)
+		}
+	default:
+		for w := 0; w < workers; w++ {
+			lo := w * rows / workers
+			hi := (w + 1) * rows / workers
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				rowLoop(lo, 1, hi)
+			}(lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
 // MulDensePar computes Y ← A·X for row-major dense blocks (Y is Rows×c,
 // X is Cols×c) with the given number of workers and row partitioning
 // strategy. It is MulVecPar generalized to c right-hand sides: each
@@ -33,63 +71,20 @@ func (m *CSR) MulDensePar(ydata, xdata []float64, c, workers int, part Partition
 				yrow[j] = 0
 			}
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-				v := m.Vals[k]
 				xrow := xdata[m.ColIdx[k]*c : (m.ColIdx[k]+1)*c]
-				for j, xv := range xrow {
-					yrow[j] += v * xv
-				}
+				Axpy(yrow, xrow, m.Vals[k])
 			}
 		}
 	}
-	if workers <= 1 || m.Rows < 128 {
-		rowLoop(0, 1, m.Rows)
-		return
-	}
-	if workers > m.Rows {
-		workers = m.Rows
-	}
-	var wg sync.WaitGroup
-	switch part {
-	case PartitionRoundRobin:
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				rowLoop(w, workers, m.Rows)
-			}(w)
-		}
-	default:
-		for w := 0; w < workers; w++ {
-			lo := w * m.Rows / workers
-			hi := (w + 1) * m.Rows / workers
-			if lo == hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				rowLoop(lo, 1, hi)
-			}(lo, hi)
-		}
-	}
-	wg.Wait()
+	runRowLoop(m.Rows, workers, part, rowLoop)
 }
 
-// BatchRelResiduals returns the per-column relative residuals
-// ‖b_j − A·x_j‖₂/‖b_j‖₂ (absolute when ‖b_j‖₂ = 0) for the row-major
-// blocks B (Rows×c) and X (Cols×c), evaluating all columns with a single
-// SpMM pass over the matrix. It is the convergence check of the batched
-// Solve path: one call per CheckEvery sweeps covers every right-hand side
-// in the batch.
-func (m *CSR) BatchRelResiduals(bdata, xdata []float64, c, workers int) []float64 {
-	if c < 0 || len(bdata) != m.Rows*c || len(xdata) != m.Cols*c {
-		panic("sparse: BatchRelResiduals shape mismatch")
-	}
-	ax := make([]float64, m.Rows*c)
-	m.MulDensePar(ax, xdata, c, workers, PartitionContiguous)
+// batchRelFromAx folds B and the precomputed A·X block into per-column
+// relative residuals; shared by the f64 and f32 batch paths.
+func batchRelFromAx(bdata, ax []float64, rows, c int) []float64 {
 	num := make([]float64, c)
 	den := make([]float64, c)
-	for i := 0; i < m.Rows; i++ {
+	for i := 0; i < rows; i++ {
 		brow := bdata[i*c : (i+1)*c]
 		axrow := ax[i*c : (i+1)*c]
 		for j, bv := range brow {
@@ -107,4 +102,19 @@ func (m *CSR) BatchRelResiduals(bdata, xdata []float64, c, workers int) []float6
 		}
 	}
 	return out
+}
+
+// BatchRelResiduals returns the per-column relative residuals
+// ‖b_j − A·x_j‖₂/‖b_j‖₂ (absolute when ‖b_j‖₂ = 0) for the row-major
+// blocks B (Rows×c) and X (Cols×c), evaluating all columns with a single
+// SpMM pass over the matrix. It is the convergence check of the batched
+// Solve path: one call per CheckEvery sweeps covers every right-hand side
+// in the batch.
+func (m *CSR) BatchRelResiduals(bdata, xdata []float64, c, workers int) []float64 {
+	if c < 0 || len(bdata) != m.Rows*c || len(xdata) != m.Cols*c {
+		panic("sparse: BatchRelResiduals shape mismatch")
+	}
+	ax := make([]float64, m.Rows*c)
+	m.MulDensePar(ax, xdata, c, workers, PartitionContiguous)
+	return batchRelFromAx(bdata, ax, m.Rows, c)
 }
