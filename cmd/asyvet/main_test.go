@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/analysis"
+)
+
+// badFixture is a package that plants exactly one violation per
+// analyzer at pinned lines (see the fixture's package comment).
+const badFixture = "../../internal/analysis/testdata/src/asyvetbad"
+
+// wantBad lists the (analyzer, line) pairs the known-bad fixture must
+// produce, in the sorted order the multichecker reports them.
+var wantBad = []struct {
+	analyzer string
+	line     int
+}{
+	{"determinism", 16},
+	{"noallocwarm", 28},
+	{"poolput", 31},
+	{"blockingsend", 34},
+	{"ctxpoll", 38},
+}
+
+func runAsyvet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestBadFixtureText(t *testing.T) {
+	code, out, errOut := runAsyvet(t, badFixture)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(wantBad) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(lines), len(wantBad), out)
+	}
+	for i, w := range wantBad {
+		if !strings.Contains(lines[i], fmt.Sprintf("[%s]", w.analyzer)) {
+			t.Errorf("line %d = %q, want analyzer %q", i, lines[i], w.analyzer)
+		}
+		if !strings.Contains(lines[i], fmt.Sprintf("bad.go:%d:", w.line)) {
+			t.Errorf("line %d = %q, want position bad.go:%d", i, lines[i], w.line)
+		}
+	}
+	if !strings.Contains(errOut, "5 finding(s)") {
+		t.Errorf("stderr summary = %q, want a 5 finding(s) count", errOut)
+	}
+}
+
+func TestBadFixtureJSON(t *testing.T) {
+	code, out, _ := runAsyvet(t, "-json", badFixture)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s", code, out)
+	}
+	var rep struct {
+		Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+		Count       int                   `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, out)
+	}
+	if rep.Count != len(wantBad) || len(rep.Diagnostics) != len(wantBad) {
+		t.Fatalf("count = %d, len(diagnostics) = %d, want %d", rep.Count, len(rep.Diagnostics), len(wantBad))
+	}
+	for i, w := range wantBad {
+		d := rep.Diagnostics[i]
+		if d.Analyzer != w.analyzer {
+			t.Errorf("diagnostics[%d].Analyzer = %q, want %q", i, d.Analyzer, w.analyzer)
+		}
+		if d.Line != w.line {
+			t.Errorf("diagnostics[%d].Line = %d, want %d", i, d.Line, w.line)
+		}
+		if !strings.HasSuffix(d.File, "asyvetbad/bad.go") {
+			t.Errorf("diagnostics[%d].File = %q, want .../asyvetbad/bad.go", i, d.File)
+		}
+		if d.Col <= 0 || d.Message == "" {
+			t.Errorf("diagnostics[%d] missing col/message: %+v", i, d)
+		}
+	}
+}
+
+func TestDisableFlag(t *testing.T) {
+	code, out, _ := runAsyvet(t, "-json", "-determinism=false", badFixture)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (other analyzers still fire)", code)
+	}
+	var rep struct {
+		Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+		Count       int                   `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, out)
+	}
+	if rep.Count != len(wantBad)-1 {
+		t.Fatalf("count = %d with determinism disabled, want %d", rep.Count, len(wantBad)-1)
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Analyzer == "determinism" {
+			t.Errorf("disabled analyzer still reported: %+v", d)
+		}
+	}
+}
+
+func TestCleanPackageJSON(t *testing.T) {
+	code, out, errOut := runAsyvet(t, "-json", "../../internal/rng")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	// The empty report must be `"diagnostics": []`, never null, so CI
+	// tooling can index it unconditionally.
+	if !strings.Contains(out, `"diagnostics": []`) {
+		t.Errorf("clean -json report = %s, want an explicit empty diagnostics array", out)
+	}
+	var rep struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil || rep.Count != 0 {
+		t.Errorf("clean report count = %d (err %v), want 0", rep.Count, err)
+	}
+}
+
+func TestBadPatternExitCode(t *testing.T) {
+	code, _, errOut := runAsyvet(t, "./does/not/exist")
+	if code != 2 {
+		t.Fatalf("exit code = %d for unknown pattern, want 2 (stderr: %s)", code, errOut)
+	}
+}

@@ -1,0 +1,13 @@
+package analysis
+
+// All returns every analyzer in the suite, in stable order. cmd/asyvet
+// derives its per-analyzer disable flags from this list.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		NoAllocWarm,
+		PoolPut,
+		BlockingSend,
+		CtxPoll,
+	}
+}

@@ -1,0 +1,127 @@
+// Package analysis is a self-contained static-analysis layer in the
+// spirit of golang.org/x/tools/go/analysis, built only on the standard
+// library so it carries no module dependencies. It exists to turn this
+// repository's runtime invariants — Philox-pure randomness, zero-alloc
+// warm paths, balanced pool Get/Put, non-blocking distmem sends, and
+// cancellable solver loops — into build-time gates: each past incident
+// class (the PR 3 send-retry deadlock, the PR 6 leader-cancel prep
+// poisoning) gets an analyzer that rejects the pattern before it ships.
+//
+// The cmd/asyvet multichecker runs every analyzer over the module; the
+// fixtures under testdata/src exercise each one against seeded positive
+// and negative cases through the analysistest subpackage.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker. Run inspects a single
+// type-checked package through its Pass and reports findings with
+// Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the one-paragraph description shown by asyvet -help.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, pinned to a file position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the go-vet-style one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// A Pass connects one analyzer run to one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the packages and returns every
+// diagnostic, sorted by file, line, column and analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// stackVisitor drives WalkStack through ast.Walk while maintaining the
+// ancestor stack.
+type stackVisitor struct {
+	stack []ast.Node
+	fn    func(n ast.Node, stack []ast.Node) bool
+}
+
+func (v *stackVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	if !v.fn(n, v.stack) {
+		return nil // skip the subtree; nothing was pushed
+	}
+	v.stack = append(v.stack, n)
+	return v
+}
+
+// WalkStack traverses every file of the pass's package in depth-first
+// order. fn receives each node together with its ancestor stack
+// (outermost first, not including the node itself); returning false
+// skips the node's children.
+func (p *Pass) WalkStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Walk(&stackVisitor{fn: fn}, f)
+	}
+}

@@ -1,0 +1,135 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` comments, the same
+// contract as golang.org/x/tools/go/analysis/analysistest but built on
+// the repository's stdlib-only analysis layer. Every fixture line with
+// a want comment must produce a matching diagnostic (the seeded
+// positive cases) and every line without one must stay silent (the
+// negatives).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/analysis"
+)
+
+// expectation is one `// want` clause: a line that must produce
+// diagnostics matching every listed pattern.
+type expectation struct {
+	file     string
+	line     int
+	patterns []*regexp.Regexp
+	matched  []bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// Run loads the fixture package rooted at dir (relative to the test's
+// working directory), applies the analyzer, and reports any mismatch
+// between produced diagnostics and want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: expected 1 package, loaded %d", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.File, d.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		for i, p := range e.patterns {
+			if !e.matched[i] {
+				t.Errorf("%s:%d: no diagnostic matched %q", e.file, e.line, p)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched pattern on the diagnostic's line that
+// matches its message, reporting whether one was found.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.file != d.File || e.line != d.Line {
+			continue
+		}
+		for i, p := range e.patterns {
+			if !e.matched[i] && p.MatchString(d.Message) {
+				e.matched[i] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectWants extracts the `// want` clauses from every comment in the
+// fixture. The clause anchors to the line the comment starts on.
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				e, err := wantOf(c, pkg.Fset)
+				if err != nil {
+					return nil, err
+				}
+				if e != nil {
+					expects = append(expects, e)
+				}
+			}
+		}
+	}
+	return expects, nil
+}
+
+func wantOf(c *ast.Comment, fset *token.FileSet) (*expectation, error) {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil, nil
+	}
+	pos := fset.Position(c.Pos())
+	e := &expectation{file: pos.Filename, line: pos.Line}
+	for _, q := range quotedRE.FindAllString(m[1], -1) {
+		pat := q
+		if q[0] == '"' {
+			var err error
+			pat, err = strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+			}
+		} else {
+			pat = q[1 : len(q)-1]
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+		}
+		e.patterns = append(e.patterns, re)
+		e.matched = append(e.matched, false)
+	}
+	if len(e.patterns) == 0 {
+		return nil, fmt.Errorf("%s:%d: want comment with no patterns", pos.Filename, pos.Line)
+	}
+	return e, nil
+}

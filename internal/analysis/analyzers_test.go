@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/analysis"
+	"github.com/asynclinalg/asyrgs/internal/analysis/analysistest"
+)
+
+// Each analyzer runs against its seeded fixture package: every line
+// carrying a `// want` comment must fire (positives) and every other
+// line must stay silent (negatives).
+
+func TestDeterminismFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/determinism", analysis.Determinism)
+}
+
+func TestNoAllocWarmFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/noallocwarm", analysis.NoAllocWarm)
+}
+
+func TestPoolPutFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/poolput", analysis.PoolPut)
+}
+
+func TestBlockingSendFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/blockingsend", analysis.BlockingSend)
+}
+
+func TestCtxPollFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxpoll", analysis.CtxPoll)
+}
+
+// TestAllStable pins the analyzer set: cmd/asyvet derives its disable
+// flags from this list, so a rename is a CLI-breaking change.
+func TestAllStable(t *testing.T) {
+	want := []string{"determinism", "noallocwarm", "poolput", "blockingsend", "ctxpoll"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s must carry Doc and Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// sendPackages enrolls the packages whose channel sends model a bounded
+// message network. In internal/distmem a full peer inbox must exert
+// backpressure without ever blocking a worker that should be draining
+// its own inbox — the exact shape of the PR 3 send-retry deadlock,
+// where a retry loop fell through to a bare blocking send and a cycle
+// of workers with full inboxes stalled forever.
+var sendPackages = []string{
+	"internal/distmem",
+}
+
+// BlockingSend requires every channel send in the distmem backend to
+// sit inside a select with at least one alternative arm (a default for
+// the drain-and-retry idiom, or a cancellation/drain case), so no
+// worker can block unconditionally on a peer's full inbox.
+var BlockingSend = &Analyzer{
+	Name: "blockingsend",
+	Doc: "require channel sends in internal/distmem to sit inside a select " +
+		"with a non-blocking or drain arm (the PR 3 deadlock shape)",
+	Run: runBlockingSend,
+}
+
+func runBlockingSend(pass *Pass) error {
+	pkg := pass.Pkg
+	if !pkg.PathIn(sendPackages...) && !pkg.OptedIn("blockingsend") {
+		return nil
+	}
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if !nonBlockingSend(send, stack) {
+			pass.Reportf(send.Pos(),
+				"blocking channel send outside a multi-arm select; a full peer queue must be met with a drain or default arm, not a stall")
+		}
+		return true
+	})
+	return nil
+}
+
+// nonBlockingSend reports whether the send is the comm op of a select
+// clause that has an escape hatch: at least one other case or a
+// default.
+func nonBlockingSend(send *ast.SendStmt, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	clause, ok := stack[len(stack)-1].(*ast.CommClause)
+	if !ok || clause.Comm != ast.Stmt(send) {
+		return false
+	}
+	// The clause's select sits above it in the stack (through the
+	// select's body block).
+	for i := len(stack) - 2; i >= 0; i-- {
+		if sel, ok := stack[i].(*ast.SelectStmt); ok {
+			return len(sel.Body.List) >= 2
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The analyzers are configured in source through `//asyrgs:` directive
+// comments (the same shape as //go: directives — no space after the
+// slashes):
+//
+//	//asyrgs:noalloc
+//	    On a function's doc comment: the function body is a warm path
+//	    and must contain no allocating constructs (noallocwarm).
+//	//asyrgs:alloc-ok <why>
+//	    On or immediately above an allocation site inside a noalloc
+//	    function: the allocation is a documented cold branch (pool miss,
+//	    escaping response buffer) and is accepted.
+//	//asyrgs:orderindep <why>
+//	    On or immediately above a range-over-map in a deterministic
+//	    package: iteration order provably does not reach any output.
+//	//asyrgs:boundedloop <why>
+//	    On or immediately above a `for {` loop in a solver package: the
+//	    loop is bounded by local progress (e.g. a claimed counter
+//	    reaching its budget) and needs no ctx poll.
+//	//asyrgs:check <analyzer>
+//	    Anywhere in a file: opts the whole package into the named
+//	    analyzer regardless of its import path. Used by the testdata
+//	    fixtures.
+
+const directivePrefix = "//asyrgs:"
+
+// directive is one parsed //asyrgs: comment.
+type directive struct {
+	name string // e.g. "noalloc", "check"
+	arg  string // remainder after the name, trimmed
+	file string
+	line int
+}
+
+// parseDirective decodes a single comment, reporting ok=false for
+// non-directive comments.
+func parseDirective(c *ast.Comment, fset *token.FileSet) (directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return directive{}, false
+	}
+	body := strings.TrimPrefix(c.Text, directivePrefix)
+	name, arg, _ := strings.Cut(body, " ")
+	pos := fset.Position(c.Pos())
+	return directive{
+		name: strings.TrimSpace(name),
+		arg:  strings.TrimSpace(arg),
+		file: pos.Filename,
+		line: pos.Line,
+	}, true
+}
+
+// Directives returns every //asyrgs: directive in the package, scanning
+// all comments of all files once and memoizing the result.
+func (p *Package) Directives() []directive {
+	p.dirsOnce.Do(func() {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if d, ok := parseDirective(c, p.Fset); ok {
+						p.dirs = append(p.dirs, d)
+					}
+				}
+			}
+		}
+	})
+	return p.dirs
+}
+
+// OptedIn reports whether any file carries `//asyrgs:check <analyzer>`,
+// enrolling the package in the named analyzer. The fixtures use this;
+// production packages are enrolled by import path instead.
+func (p *Package) OptedIn(analyzer string) bool {
+	for _, d := range p.Directives() {
+		if d.name == "check" && d.arg == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveAt reports whether a `//asyrgs:<name>` directive sits on the
+// same line as pos or on the line immediately above it — the two places
+// a suppression comment reads naturally.
+func (p *Package) DirectiveAt(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	for _, d := range p.Directives() {
+		if d.name == name && d.file == position.Filename &&
+			(d.line == position.Line || d.line == position.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether the function's doc comment carries the
+// named directive.
+func FuncDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directivePrefix+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathIn reports whether the package's import path ends with one of the
+// given suffixes — the enrolment test the production analyzers use so
+// they hit this module's packages without hard-coding the module path.
+func (p *Package) PathIn(suffixes ...string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(p.ImportPath, s) {
+			return true
+		}
+	}
+	return false
+}

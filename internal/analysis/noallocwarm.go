@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAllocWarm enforces the zero-allocation warm paths statically.
+// Functions whose doc comment carries `//asyrgs:noalloc` (Solver.Reinit,
+// the warm sequential sweep, the serve pooled fast path) must not
+// contain allocating constructs: make/new, append (its backing array
+// may grow), closures, go statements, slice/map/pointer composite
+// literals, string concatenation, or explicit conversions into
+// interface types. The runtime AllocsPerRun==0 tests prove the happy
+// path clean end to end; this analyzer points at the exact file/line
+// that would regress it. A documented cold branch (pool miss, escaping
+// response buffer) is accepted with `//asyrgs:alloc-ok <why>`.
+var NoAllocWarm = &Analyzer{
+	Name: "noallocwarm",
+	Doc: "forbid allocating constructs inside functions annotated //asyrgs:noalloc; " +
+		"suppress documented cold branches with //asyrgs:alloc-ok <why>",
+	Run: runNoAllocWarm,
+}
+
+func runNoAllocWarm(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !FuncDirective(fd, "noalloc") {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	report := func(pos token.Pos, format string, args ...any) {
+		if !pkg.DirectiveAt(pos, "alloc-ok") {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Walk(&stackVisitor{fn: func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure in noalloc function %s: function literals allocate", fd.Name.Name)
+			return false // its body runs elsewhere; one finding is enough
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement in noalloc function %s: spawning a goroutine allocates", fd.Name.Name)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						report(n.Pos(), "make in noalloc function %s", fd.Name.Name)
+					case "new":
+						report(n.Pos(), "new in noalloc function %s", fd.Name.Name)
+					case "append":
+						report(n.Pos(), "append in noalloc function %s: growth reallocates the backing array", fd.Name.Name)
+					}
+					return true
+				}
+			}
+			if to, from, ok := conversion(pkg, n); ok && types.IsInterface(to) && !types.IsInterface(from) {
+				report(n.Pos(), "conversion to interface %s in noalloc function %s boxes its operand", to, fd.Name.Name)
+			}
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(n.Pos(), "%s literal in noalloc function %s", kindName(t), fd.Name.Name)
+			default:
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+						report(u.Pos(), "&composite literal in noalloc function %s escapes to the heap", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t, ok := pkg.Info.TypeOf(n.X).(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					report(n.Pos(), "string concatenation in noalloc function %s", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	}}, fd.Body)
+}
+
+// conversion reports whether call is a type conversion, returning the
+// destination and operand types.
+func conversion(pkg *Package, call *ast.CallExpr) (to, from types.Type, ok bool) {
+	if len(call.Args) != 1 {
+		return nil, nil, false
+	}
+	tv, found := pkg.Info.Types[call.Fun]
+	if !found || !tv.IsType() {
+		return nil, nil, false
+	}
+	from = pkg.Info.TypeOf(call.Args[0])
+	if from == nil {
+		return nil, nil, false
+	}
+	return tv.Type, from, true
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPut keeps sync.Pool usage leak-free: every pool that is Get from
+// must be Put back somewhere in the same package, and inside a single
+// function a locally-consumed pooled value must reach a Put on every
+// return path (or be released by a deferred Put). A Get whose value is
+// returned to the caller is an ownership transfer — the
+// acquire/release helper idiom of corePrepared.fork and Server.getItem
+// — and only the package-level balance is required of it. Assigning a
+// pooled value to a package-level variable is reported as an escape:
+// a value stored globally can be Put and then reused concurrently.
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc: "require sync.Pool Get/Put balance per package and per function " +
+		"return path, and reject pooled values escaping to globals",
+	Run: runPoolPut,
+}
+
+// poolCall is one resolved (*sync.Pool).Get or Put call site.
+type poolCall struct {
+	call     *ast.CallExpr
+	pool     types.Object // the pool variable or field; nil if unresolvable
+	key      string       // printable pool identity for diagnostics
+	deferred bool
+}
+
+func runPoolPut(pass *Pass) error {
+	pkg := pass.Pkg
+	// Package-level balance: pools with a Get but no Put anywhere leak
+	// by construction.
+	gets := map[types.Object][]*poolCall{}
+	puts := map[types.Object]bool{}
+	var fns []*ast.FuncDecl
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			fns = append(fns, fd)
+		}
+		pc, name := poolCallOf(pkg, n, stack)
+		if pc == nil || pc.pool == nil {
+			return true
+		}
+		switch name {
+		case "Get":
+			gets[pc.pool] = append(gets[pc.pool], pc)
+		case "Put":
+			puts[pc.pool] = true
+		}
+		return true
+	})
+	for pool, calls := range gets {
+		if puts[pool] {
+			continue
+		}
+		for _, pc := range calls {
+			pass.Reportf(pc.call.Pos(),
+				"sync.Pool %s has Get but no Put anywhere in the package: pooled values leak", pc.key)
+		}
+	}
+	for _, fd := range fns {
+		if fd.Body != nil {
+			checkPoolFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// poolCallOf resolves n to a (*sync.Pool).Get/Put call, returning the
+// call record and the method name.
+func poolCallOf(pkg *Package, n ast.Node, stack []ast.Node) (*poolCall, string) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return nil, ""
+	}
+	recv := pkg.Info.TypeOf(sel.X)
+	if recv == nil || !isSyncPool(recv) {
+		return nil, ""
+	}
+	pc := &poolCall{call: call, pool: rootObject(pkg, sel.X), key: types.ExprString(sel.X)}
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.DeferStmt); ok {
+			pc.deferred = true
+		}
+	}
+	return pc, sel.Sel.Name
+}
+
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// rootObject resolves the variable or field a pool expression names:
+// `pool` -> the var, `s.itemPool` -> the field object.
+func rootObject(pkg *Package, x ast.Expr) types.Object {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[x.Sel]
+	case *ast.ParenExpr:
+		return rootObject(pkg, x.X)
+	case *ast.UnaryExpr:
+		return rootObject(pkg, x.X)
+	}
+	return nil
+}
+
+// checkPoolFunc enforces the per-function rule: a locally-consumed
+// pooled value must be Put on every return path.
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	type getSite struct {
+		pc       *poolCall
+		tracked  map[types.Object]bool // the value and its aliases
+		returned bool                  // the Get call itself is a return operand
+	}
+	var getSites []*getSite
+	var putsByPool []*poolCall
+	var returns []*ast.ReturnStmt
+
+	ast.Walk(&stackVisitor{fn: func(n ast.Node, stack []ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r)
+		}
+		pc, name := poolCallOf(pkg, n, stack)
+		if pc == nil {
+			return true
+		}
+		switch name {
+		case "Get":
+			gs := &getSite{pc: pc, tracked: map[types.Object]bool{}}
+			// The Get value lands through `v := pool.Get()` or
+			// `v, ok := pool.Get().(*T)`; walk up through the type
+			// assertion to the assignment.
+			for i := len(stack) - 1; i >= 0; i-- {
+				if _, ok := stack[i].(*ast.ReturnStmt); ok {
+					// `return pool.Get()` hands the value straight to the
+					// caller: an ownership transfer with no local name.
+					gs.returned = true
+					break
+				}
+				if as, ok := stack[i].(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pkg.Info.Defs[id]; obj != nil {
+								gs.tracked[obj] = true
+							} else if obj := pkg.Info.Uses[id]; obj != nil {
+								gs.tracked[obj] = true
+							}
+						}
+					}
+					break
+				}
+			}
+			getSites = append(getSites, gs)
+		case "Put":
+			putsByPool = append(putsByPool, pc)
+		}
+		return true
+	}}, fd.Body)
+
+	if len(getSites) == 0 {
+		return
+	}
+
+	// One alias pass in source order: a variable assigned from an
+	// expression mentioning a tracked value joins the tracked set.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, gs := range getSites {
+			mentions := false
+			for _, rhs := range as.Rhs {
+				if exprMentions(pkg, rhs, gs.tracked) {
+					mentions = true
+				}
+			}
+			if !mentions {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						gs.tracked[obj] = true
+					} else if obj := pkg.Info.Uses[id]; obj != nil && obj.Parent() != pkg.Types.Scope() {
+						gs.tracked[obj] = true
+					}
+				}
+				// Escape check: a tracked value stored into a
+				// package-level variable outlives the function.
+				if root := rootObject(pkg, lhs); root != nil && root.Parent() == pkg.Types.Scope() {
+					pass.Reportf(as.Pos(),
+						"pooled value from %s.Get escapes to package-level %s; it can be Put and then reused concurrently",
+						gs.pc.key, root.Name())
+				}
+			}
+		}
+		return true
+	})
+
+	for _, gs := range getSites {
+		// Ownership transfer: the pooled value is returned to the
+		// caller; the package-level balance rule covers the release.
+		transferred := gs.returned
+		for _, r := range returns {
+			for _, res := range r.Results {
+				if exprMentions(pkg, res, gs.tracked) {
+					transferred = true
+				}
+			}
+		}
+		if transferred {
+			continue
+		}
+		samePool := func(pc *poolCall) bool {
+			return pc.pool != nil && pc.pool == gs.pc.pool
+		}
+		deferredPut := false
+		var putPositions []token.Pos
+		for _, put := range putsByPool {
+			if !samePool(put) {
+				continue
+			}
+			if put.deferred {
+				deferredPut = true
+			}
+			putPositions = append(putPositions, put.call.Pos())
+		}
+		if deferredPut {
+			continue
+		}
+		if len(putPositions) == 0 {
+			if gs.pc.deferred {
+				continue // defer pool.Put(pool.Get().(...)) style round-trips
+			}
+			pass.Reportf(gs.pc.call.Pos(),
+				"pooled value from %s.Get is neither returned, deferred-Put, nor Put in this function", gs.pc.key)
+			continue
+		}
+		// Every return after the Get needs a Put between them (a
+		// lexical approximation of path coverage that matches this
+		// repository's straight-line release shapes).
+		getPos := gs.pc.call.Pos()
+		for _, r := range returns {
+			if r.Pos() <= getPos {
+				continue
+			}
+			covered := false
+			for _, pp := range putPositions {
+				if pp > getPos && pp < r.Pos() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(r.Pos(),
+					"return path without %s.Put for the value obtained at %s",
+					gs.pc.key, pkg.Fset.Position(getPos))
+			}
+		}
+	}
+}
+
+// exprMentions reports whether x references any tracked object.
+func exprMentions(pkg *Package, x ast.Expr, tracked map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil && tracked[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

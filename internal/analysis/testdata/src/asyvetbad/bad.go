@@ -1,0 +1,41 @@
+// Package asyvetbad is the deliberately broken fixture for the
+// cmd/asyvet integration test. It opts into every analyzer and plants
+// exactly one violation per analyzer at a line the test pins down, so
+// the test can assert the multichecker's exit code, its text report,
+// and its -json shape end to end. Keep line numbers stable: the
+// integration test asserts them.
+//
+//asyrgs:check determinism
+//asyrgs:check noallocwarm
+//asyrgs:check poolput
+//asyrgs:check blockingsend
+//asyrgs:check ctxpoll
+package asyvetbad
+
+import (
+	"math/rand"
+	"sync"
+)
+
+var itemPool sync.Pool
+
+// Determinism reaches for the banned global generator.
+func Determinism() float64 { return rand.Float64() }
+
+// NoAlloc claims a zero-alloc contract and breaks it.
+//
+//asyrgs:noalloc
+func NoAlloc(n int) []float64 { return make([]float64, n) }
+
+// PoolLeak takes from the pool of a package that never calls Put.
+func PoolLeak() any { return itemPool.Get() }
+
+// BlockingSend stalls unconditionally on a full channel.
+func BlockingSend(ch chan int, v int) { ch <- v }
+
+// Spin loops forever with no cancellation poll.
+func Spin(f func()) {
+	for {
+		f()
+	}
+}

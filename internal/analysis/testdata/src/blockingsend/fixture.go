@@ -1,0 +1,53 @@
+// Package sendfix seeds the blockingsend analyzer fixtures.
+//
+//asyrgs:check blockingsend
+package sendfix
+
+type update struct {
+	idx   int
+	delta float64
+}
+
+// BadBareSend is the PR 3 deadlock shape: an unconditional send that
+// stalls the worker the moment the peer inbox is full.
+func BadBareSend(inbox chan update, u update) {
+	inbox <- u // want `blocking channel send outside a multi-arm select`
+}
+
+// BadSingleArm dresses the same stall in a select with no escape hatch.
+func BadSingleArm(inbox chan update, u update) {
+	select {
+	case inbox <- u: // want `blocking channel send outside a multi-arm select`
+	}
+}
+
+// GoodRetryDrain is the repaired shape: attempt the send, and on a full
+// inbox fall through to drain our own queue before retrying.
+func GoodRetryDrain(inbox, ours chan update, u update) {
+	for delivered := false; !delivered; {
+		select {
+		case inbox <- u:
+			delivered = true
+		default:
+			drain(ours)
+		}
+	}
+}
+
+// GoodCancelArm pairs the send with a termination arm.
+func GoodCancelArm(inbox chan update, done chan struct{}, u update) {
+	select {
+	case inbox <- u:
+	case <-done:
+	}
+}
+
+func drain(ch chan update) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}

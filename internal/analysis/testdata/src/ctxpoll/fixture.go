@@ -1,0 +1,79 @@
+// Package ctxfix seeds the ctxpoll analyzer fixtures.
+//
+//asyrgs:check ctxpoll
+package ctxfix
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// BadSpin can run forever with no way to cancel it.
+func BadSpin(ch chan float64, out []float64) {
+	i := 0
+	for { // want `unbounded for loop never polls ctx\.Err\(\)/ctx\.Done\(\)`
+		v := <-ch
+		out[i%len(out)] = v
+		i++
+	}
+}
+
+// GoodPoll checks the context every iteration.
+func GoodPoll(ctx context.Context, ch chan float64, out []float64) {
+	i := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		out[i%len(out)] = <-ch
+		i++
+	}
+}
+
+// GoodDoneArm selects on cancellation.
+func GoodDoneArm(ctx context.Context, ch chan float64) {
+	for {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// GoodDrain empties a queue and leaves: bounded by the backlog.
+func GoodDrain(ch chan float64) float64 {
+	var sum float64
+	for {
+		select {
+		case v := <-ch:
+			sum += v
+		default:
+			return sum
+		}
+	}
+}
+
+// GoodCAS is the lock-free retry shape: it exits once the swap lands.
+func GoodCAS(max *atomic.Uint64, v uint64) {
+	for {
+		cur := max.Load()
+		if v <= cur || max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// GoodBounded is bounded by local progress and says why.
+func GoodBounded(claims *atomic.Uint64, end uint64, out []float64) {
+	//asyrgs:boundedloop terminates once the claimed counter passes end
+	for {
+		base := claims.Add(8) - 8
+		if base >= end {
+			return
+		}
+		for j := base; j < base+8 && j < end; j++ {
+			out[j] = float64(j)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package determfix seeds the determinism analyzer fixtures.
+//
+//asyrgs:check determinism
+package determfix
+
+import (
+	"math/rand" // want `deterministic package imports math/rand`
+	"time"
+)
+
+var weights = map[string]float64{"diag": 2, "offdiag": 1}
+
+// BadDraw uses the banned generator and the wall clock.
+func BadDraw(out []float64) {
+	out[0] = rand.Float64()
+	start := time.Now() // want `wall-clock read time\.Now`
+	_ = start
+	var since = time.Since // want `wall-clock read time\.Since`
+	_ = since
+}
+
+// BadOrder lets map iteration order reach the output slice.
+func BadOrder(out []float64) {
+	i := 0
+	for _, w := range weights { // want `map iteration order is nondeterministic`
+		out[i] = w
+		i++
+	}
+}
+
+// GoodOrder folds the map commutatively; order cannot reach the sum.
+func GoodOrder() float64 {
+	var sum float64
+	//asyrgs:orderindep addition over the whole map is commutative
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}
+
+// GoodTime keeps non-Now time uses: durations as data are fine.
+func GoodTime(d time.Duration) time.Duration {
+	return 2 * d
+}

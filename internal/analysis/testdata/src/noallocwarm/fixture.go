@@ -1,0 +1,64 @@
+// Package noallocfix seeds the noallocwarm analyzer fixtures.
+package noallocfix
+
+type scratch struct {
+	buf []float64
+}
+
+// BadWarm is annotated warm but allocates six different ways.
+//
+//asyrgs:noalloc
+func BadWarm(dst []float64, n int) []float64 {
+	tmp := make([]float64, n) // want `make in noalloc function BadWarm`
+	dst = append(dst, tmp...) // want `append in noalloc function BadWarm`
+	p := new(scratch)         // want `new in noalloc function BadWarm`
+	p.buf = []float64{1, 2}   // want `slice literal in noalloc function BadWarm`
+	q := &scratch{}           // want `&composite literal in noalloc function BadWarm`
+	_ = q
+	f := func() { _ = p } // want `closure in noalloc function BadWarm`
+	f()
+	return dst
+}
+
+// BadBoxing boxes a value into an interface and concatenates strings.
+//
+//asyrgs:noalloc
+func BadBoxing(v float64, a, b string) (any, string) {
+	boxed := any(v)     // want `conversion to interface .* in noalloc function BadBoxing boxes its operand`
+	return boxed, a + b // want `string concatenation in noalloc function BadBoxing`
+}
+
+// BadSpawn launches a goroutine from a warm path.
+//
+//asyrgs:noalloc
+func BadSpawn(done chan struct{}) {
+	go notify(done) // want `go statement in noalloc function BadSpawn`
+}
+
+func notify(done chan struct{}) { close(done) }
+
+// GoodWarm writes in place: nothing allocates.
+//
+//asyrgs:noalloc
+func GoodWarm(dst []float64, s *scratch) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	s.buf = dst
+}
+
+// GoodColdBranch documents its pool-miss allocation.
+//
+//asyrgs:noalloc
+func GoodColdBranch(s *scratch, n int) []float64 {
+	if cap(s.buf) < n {
+		//asyrgs:alloc-ok cold resize; the warm path reuses the buffer
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}
+
+// Unannotated is not a warm path; allocations are fine here.
+func Unannotated(n int) []float64 {
+	return make([]float64, n)
+}

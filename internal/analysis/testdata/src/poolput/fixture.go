@@ -1,0 +1,77 @@
+// Package poolfix seeds the poolput analyzer fixtures.
+package poolfix
+
+import "sync"
+
+type item struct {
+	buf []byte
+}
+
+// leakPool is Get from but never Put back anywhere in the package.
+var leakPool sync.Pool
+
+// okPool is balanced at package level; the per-function cases below
+// exercise the return-path rule against it.
+var okPool = sync.Pool{New: func() any { return new(item) }}
+
+// sink is a package-level home a pooled value must never escape to.
+var sink *item
+
+// BadLeak acquires from a pool that has no Put in the package, and
+// consumes the value locally without releasing it.
+func BadLeak() {
+	v := leakPool.Get() // want `has Get but no Put anywhere in the package` `neither returned, deferred-Put, nor Put`
+	_ = v
+}
+
+// BadEarlyReturn misses the release on its error path.
+func BadEarlyReturn(fail bool) error {
+	v := okPool.Get().(*item)
+	if fail {
+		return errFailed // want `return path without okPool\.Put`
+	}
+	okPool.Put(v)
+	return nil
+}
+
+// BadEscape parks a pooled value in a package-level variable.
+func BadEscape() {
+	v := okPool.Get().(*item)
+	sink = v // want `escapes to package-level sink`
+	okPool.Put(v)
+}
+
+// GoodDefer releases on every path through a deferred Put.
+func GoodDefer(fail bool) error {
+	v := okPool.Get().(*item)
+	defer okPool.Put(v)
+	if fail {
+		return errFailed
+	}
+	v.buf = v.buf[:0]
+	return nil
+}
+
+// GoodLinear releases before its single return.
+func GoodLinear() int {
+	v := okPool.Get().(*item)
+	n := len(v.buf)
+	okPool.Put(v)
+	return n
+}
+
+// GoodTransfer hands ownership to the caller (the acquire-helper
+// idiom); the package-level balance covers the release.
+func GoodTransfer() *item {
+	v, ok := okPool.Get().(*item)
+	if !ok {
+		return new(item)
+	}
+	return v
+}
+
+type poolError string
+
+func (e poolError) Error() string { return string(e) }
+
+const errFailed = poolError("failed")
