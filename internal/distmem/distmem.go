@@ -320,9 +320,20 @@ func (s *Solver) round(ctx context.Context, x, b []float64, sweeps int) (message
 	s.drain.Add(w)
 	for id := 0; id < w; id++ {
 		lo, hi := p.part.Block(id)
-		s.cmds[id] <- roundCmd{
+		cmd := roundCmd{
 			ctx: ctx, x: x, b: b, sweeps: sweeps, base: s.base[id],
 			inboxes: inboxes, sent: &sent, maxQ: &maxQ, pick: s.onPick,
+		}
+		// Pool workers sit between rounds here, so the work order lands
+		// as soon as the worker is scheduled. The cancellation arm keeps
+		// the dispatch non-blocking: if ctx dies mid-dispatch, stand in
+		// for the unreached worker at both barriers so the round still
+		// terminates cleanly (its block simply goes un-updated).
+		select {
+		case s.cmds[id] <- cmd:
+		case <-ctx.Done():
+			s.iterate.Done()
+			s.drain.Done()
 		}
 		s.base[id] += uint64(sweeps * (hi - lo))
 	}
