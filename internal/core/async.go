@@ -172,6 +172,7 @@ func (s *Solver) asyncWorker(x, b []float64, stream rng.Stream, smp sampler, cou
 	measure := s.opts.MeasureDelay
 	throttle := s.opts.Throttle
 	picks := make([]int32, chunk)
+	//asyrgs:boundedloop the claimed counter is monotone; every pass claims chunk>=1 indices and exits once base passes end
 	for {
 		base := counter.Add(uint64(chunk)) - uint64(chunk)
 		if base >= end {
@@ -321,6 +322,7 @@ func (s *Solver) asyncWorkerDense(x, b *vec.Dense, stream rng.Stream, smp sample
 	throttle := s.opts.Throttle
 	gamma := make([]float64, c)
 	picks := make([]int32, chunk)
+	//asyrgs:boundedloop the claimed counter is monotone; every pass claims chunk>=1 indices and exits once base passes end
 	for {
 		base := counter.Add(uint64(chunk)) - uint64(chunk)
 		if base >= end {

@@ -137,6 +137,8 @@ func NewFromPrep(p *Prep, opts Options) (*Solver, error) {
 // resetting its direction stream and delay statistics while keeping its
 // scratch buffers. Pools use it to recycle Solvers across warm solves so
 // the prepared request path allocates nothing.
+//
+//asyrgs:noalloc
 func (s *Solver) Reinit(p *Prep, opts Options) error {
 	beta := opts.Beta
 	if beta == 0 {

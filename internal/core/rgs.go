@@ -28,6 +28,8 @@ func (s *Solver) seqPicks() []int32 {
 // for the system A·x = b, continuing the solver's direction stream. One
 // sweep (n single-coordinate updates) costs Θ(nnz(A)) — the same as one
 // classical Gauss–Seidel pass.
+//
+//asyrgs:noalloc
 func (s *Solver) Sweeps(x, b []float64, sweeps int) {
 	n := s.a.Rows
 	if len(x) != n || len(b) != n {

@@ -212,6 +212,7 @@ func New(a *sparse.CSR, opts Options) (*Solver, error) {
 // Either way the row is a pure function of (seed, j).
 func (s *Solver) pickRow(stream rng.Stream, j uint64) int {
 	if s.opts.Uniform {
+		//asyrgs:boundedloop rejection terminates because PrepareMatrix guarantees at least one row with positive norm
 		for sub := uint64(0); ; sub++ {
 			i := stream.IntnAt(j*31+sub, s.a.Rows)
 			if s.sampNorm2[i] > 0 {
@@ -281,6 +282,7 @@ func (s *Solver) Iterations(x, b []float64, m int) float64 {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				//asyrgs:boundedloop the claimed counter is monotone; every pass claims chunk>=1 indices and exits once base passes end
 				for {
 					base := counter.Add(uint64(chunk)) - uint64(chunk)
 					if base >= end {

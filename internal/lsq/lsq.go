@@ -298,6 +298,7 @@ func (s *Solver) runAsync(x, b []float64, stream rng.Stream, start, end uint64) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//asyrgs:boundedloop the claimed counter is monotone; every pass claims chunk>=1 indices and exits once base passes end
 			for {
 				base := counter.Add(uint64(chunk)) - uint64(chunk)
 				if base >= end {

@@ -133,6 +133,8 @@ func corePrepare(name string, baseOpts core.Options, sequential bool) prepareFun
 // fork readies a per-solve core.Solver over the shared prepared state,
 // recycling a pooled one when available so the warm path allocates
 // nothing. Callers must release the solver when the solve is done.
+//
+//asyrgs:noalloc
 func (p *corePrepared) fork(opts Opts) (*core.Solver, error) {
 	co := p.baseOpts
 	co.Workers = opts.Workers
@@ -155,8 +157,11 @@ func (p *corePrepared) fork(opts Opts) (*core.Solver, error) {
 }
 
 // release returns a forked solver (and its scratch) to the pool.
+//
+//asyrgs:noalloc
 func (p *corePrepared) release(s *core.Solver) { p.pool.Put(s) }
 
+//asyrgs:noalloc
 func (p *corePrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
 	s, err := p.fork(opts)

@@ -35,6 +35,8 @@ type deadlineCtx struct {
 }
 
 // reset points the context at a parent with a fresh budget.
+//
+//asyrgs:noalloc
 func (d *deadlineCtx) reset(parent context.Context, timeout time.Duration) {
 	d.parent, d.deadline = parent, time.Now().Add(timeout)
 }

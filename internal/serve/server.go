@@ -503,6 +503,8 @@ type solveItem struct {
 }
 
 // getItem returns a recycled solve item.
+//
+//asyrgs:noalloc
 func (s *Server) getItem() *solveItem {
 	if v, ok := s.itemPool.Get().(*solveItem); ok {
 		select {
@@ -511,6 +513,7 @@ func (s *Server) getItem() *solveItem {
 		}
 		return v
 	}
+	//asyrgs:alloc-ok cold pool-miss path; steady state always hits the pool
 	return &solveItem{done: make(chan struct{}, 1)}
 }
 
@@ -519,6 +522,8 @@ func (s *Server) getItem() *solveItem {
 // Request-scoped references are dropped here, not at getItem, so an
 // idle pool does not pin a finished request's context or a client's
 // decoded right-hand side.
+//
+//asyrgs:noalloc
 func (s *Server) putItem(it *solveItem) {
 	it.b, it.x, it.rctx = nil, nil, nil
 	it.dctx.parent = nil
@@ -540,8 +545,11 @@ func sized(buf []float64, n int) []float64 {
 // itemIterate readies the zero initial guess for an item. When the
 // response will carry the solution the slice must escape the pool, so it
 // is allocated fresh; otherwise the item's recycled buffer is used.
+//
+//asyrgs:noalloc
 func (s *Server) itemIterate(it *solveItem, n int, escapes bool) []float64 {
 	if escapes {
+		//asyrgs:alloc-ok the solution slice escapes into the response, so it cannot come from the pooled buffer
 		return make([]float64, n)
 	}
 	it.xBuf = sized(it.xBuf, n)
