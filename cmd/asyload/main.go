@@ -17,6 +17,8 @@
 //	        [-max-concurrent P] [-batch-window 2ms] [-batch-target 0] [-cache 16]
 //	        [-baseline BENCH_serve.json] [-slo-p99-factor 25] [-slo-error-band 0.05]
 //	        [-knee-baseline BENCH_knee.json] [-slo-knee-factor 4]
+//	        [-cold-restart] [-cold-nnz 64] [-cold-trials 3] [-cold-method asyrgs]
+//	        [-cold-out BENCH_coldstart.json]
 //
 // With -target empty the generator self-hosts a serve.Server behind a
 // direct handler transport (no sockets) sized by the -max-concurrent,
@@ -35,6 +37,13 @@
 // -knee-steps steps of -step-duration each, until p99 explodes or
 // errors appear; the sweep (with every per-step report) is written to
 // -knee-out with -json.
+//
+// -cold-restart runs the durable-prep-store measurement instead of a
+// traffic scenario: it warms an in-memory store with one prepared
+// system, then alternates fresh daemons without a store (full Prepare)
+// and fresh daemons over the warmed store (restore), reporting both
+// first-request prepare latencies and their ratio. -json writes the
+// report to -cold-out.
 //
 // With -baseline (or, for sweeps, -knee-baseline) the run becomes an
 // SLO gate: the fresh report is compared against the committed baseline
@@ -107,8 +116,38 @@ func main() {
 		sloErrBand  = flag.Float64("slo-error-band", 0.05, "fail (exit 3) when the error rate exceeds the baseline's by more than this; negative disables")
 		kneeBase    = flag.String("knee-baseline", "", "committed BENCH_knee.json to gate a -knee sweep against")
 		sloKnee     = flag.Float64("slo-knee-factor", 4, "fail (exit 3) when the knee falls below the baseline's divided by this; 0 disables")
+		coldRestart = flag.Bool("cold-restart", false, "measure a restarted daemon's first-request prepare latency with and without the durable prep store (self-hosted; ignores -target)")
+		coldNNZ     = flag.Int("cold-nnz", 64, "cold-restart: nonzeros per row (the restore win scales with density)")
+		coldTrials  = flag.Int("cold-trials", 3, "cold-restart: trials per arm (each arm reports its minimum)")
+		coldMethod  = flag.String("cold-method", "asyrgs", "cold-restart: persistent method to measure")
+		coldOut     = flag.String("cold-out", "BENCH_coldstart.json", "cold-restart artifact path used with -json")
 	)
 	flag.Parse()
+
+	if *coldRestart {
+		n := *n
+		if n == 96 {
+			// The scenario default, not the shared -n default: at n=96 the
+			// prepare phase is too small to measure.
+			n = 20000
+		}
+		rep, err := load.ColdRestart(context.Background(), load.ColdRestartOptions{
+			N: n, NNZ: *coldNNZ, Trials: *coldTrials, Seed: *seed, Method: *coldMethod,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asyload: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(rep.String())
+		if *jsonOut {
+			if err := writeArtifact(*coldOut, rep.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "asyload: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("cold-restart artifact written to %s\n", *coldOut)
+		}
+		return
+	}
 
 	if *scenario == "list" {
 		for _, s := range load.Scenarios() {

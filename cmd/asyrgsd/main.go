@@ -11,6 +11,15 @@
 //	asyrgsd [-addr :8080] [-max-concurrent P] [-cache 16] [-prep-cache 64]
 //	        [-batch-window 2ms] [-batch-target 0] [-queue-timeout 5s]
 //	        [-solve-timeout 60s] [-max-dim 1048576] [-drain-timeout 10s]
+//	        [-prep-store] [-prep-store-dir DIR]
+//
+// With -prep-store the daemon keeps a durable content-addressed store of
+// prepared solver state behind the prep LRU: successful preparations and
+// LRU-evicted entries spill to it on a background writer, and a prep-LRU
+// miss restores from it instead of re-running Prepare. -prep-store-dir
+// persists the blobs on disk, so a restarted daemon serves its first
+// request for a known system at warm cost (see the cold-restart load
+// scenario in cmd/asyload).
 //
 // Endpoints: POST /solve, GET /methods, GET /healthz, GET /stats (JSON
 // counters plus per-endpoint/per-method latency summaries), GET /metrics
@@ -55,6 +64,7 @@ import (
 
 	"github.com/asynclinalg/asyrgs/internal/method"
 	"github.com/asynclinalg/asyrgs/internal/serve"
+	"github.com/asynclinalg/asyrgs/internal/store"
 )
 
 func main() {
@@ -69,8 +79,31 @@ func main() {
 		solveTimeout = flag.Duration("solve-timeout", 60*time.Second, "per-batch solve budget")
 		maxDim       = flag.Int("max-dim", 1<<20, "largest accepted matrix dimension")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight solves on shutdown")
+		prepStore    = flag.Bool("prep-store", false, "enable the durable prepared-system store (restores skip Prepare across restarts)")
+		prepStoreDir = flag.String("prep-store-dir", "", "durable prep-store directory (implies -prep-store; empty with -prep-store uses an in-memory backend)")
 	)
 	flag.Parse()
+
+	// The durable prep store spills prepared solver state to a blob
+	// backend and restores it on prep-cache misses, so a restarted daemon
+	// skips the Prepare pass for systems it has served before. A directory
+	// backend survives restarts; the in-memory backend (no -prep-store-dir)
+	// only demotes LRU-evicted state within one process lifetime.
+	var ps *store.PrepStore
+	if *prepStore || *prepStoreDir != "" {
+		var backend store.Backend
+		if *prepStoreDir != "" {
+			dir, err := store.NewDir(*prepStoreDir)
+			if err != nil {
+				log.Fatalf("asyrgsd: opening prep store: %v", err)
+			}
+			backend = dir
+		} else {
+			backend = store.NewMemory()
+		}
+		ps = store.NewPrepStore(backend)
+		defer ps.Close()
+	}
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *maxConc,
@@ -81,6 +114,7 @@ func main() {
 		QueueTimeout:  *queueTimeout,
 		SolveTimeout:  *solveTimeout,
 		MaxDim:        *maxDim,
+		PrepStore:     ps,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

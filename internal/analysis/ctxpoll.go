@@ -17,6 +17,10 @@ var loopPackages = []string{
 	"internal/lsq",
 	"internal/distmem",
 	"internal/method",
+	// The prep store's background writer drains a queue the request
+	// path feeds; its loops must stay provably terminable or Close
+	// would hang the daemon's shutdown.
+	"internal/store",
 }
 
 // CtxPoll requires every `for { ... }` loop (nil condition) in the

@@ -18,6 +18,10 @@ var detPackages = []string{
 	"internal/distmem",
 	"internal/alias",
 	"internal/rng",
+	// The durable prep store round-trips solver state: a wall-clock or
+	// map-order dependency in its codec would break the bit-identical
+	// restore guarantee the persistence tests assert.
+	"internal/store",
 }
 
 // Determinism rejects nondeterminism sources in the deterministic

@@ -1,0 +1,197 @@
+package load
+
+// The cold-restart scenario measures the durable prep store's reason to
+// exist: the latency of a restarted daemon's *first* request for a
+// system it has served before. Without a store that request pays the
+// full Prepare — an O(nnz) pass over the matrix; with a warmed store it
+// restores the spilled state and pays only decode + validation, which
+// for the core (AsyRGS) family is O(n): the persisted diagonal state is
+// tiny next to the matrix it was extracted from, so the denser the
+// system, the bigger the restore win. Both arms run on fresh in-process
+// servers with empty caches, interleaved trial by trial so machine noise
+// hits them symmetrically, and each arm reports its minimum prepare
+// latency — the best-case number a deployment would tune against.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"github.com/asynclinalg/asyrgs/internal/serve"
+	"github.com/asynclinalg/asyrgs/internal/store"
+)
+
+// ColdRestartOptions size the cold-restart measurement. The zero value
+// is usable.
+type ColdRestartOptions struct {
+	// N is the system dimension and NNZ the nonzeros per row. The
+	// restore win scales with NNZ: Prepare scans every stored entry
+	// while the core family's persisted state stays two n-vectors. Zero
+	// means 20000×64.
+	N, NNZ int
+	// Trials is the per-arm trial count; each arm reports its minimum.
+	// Zero means 3.
+	Trials int
+	// Seed keys the generated matrix.
+	Seed uint64
+	// Method overrides the solver; zero means "asyrgs". It must be a
+	// persistent method (one the store can restore); least-squares
+	// methods run over an overdetermined system N×(N/4).
+	Method string
+}
+
+func (o ColdRestartOptions) withDefaults() ColdRestartOptions {
+	if o.N <= 0 {
+		o.N = 20000
+	}
+	if o.NNZ <= 0 {
+		o.NNZ = 64
+	}
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	if o.Method == "" {
+		o.Method = "asyrgs"
+	}
+	return o
+}
+
+// spec returns the matrix the scenario solves: SPD for the square-system
+// methods, overdetermined for the least-squares family.
+func (o ColdRestartOptions) spec() serve.MatrixSpec {
+	switch o.Method {
+	case "lsqcd", "lsqcd-async", "lsqcd-weighted":
+		return serve.MatrixSpec{Kind: "overdetermined", Rows: o.N, Cols: o.N / 4, NNZ: o.NNZ, Seed: o.Seed}
+	default:
+		return serve.MatrixSpec{Kind: "randomspd", N: o.N, NNZ: o.NNZ, Seed: o.Seed}
+	}
+}
+
+// ColdRestartReport is the cold-restart scenario's artifact
+// (BENCH_coldstart.json).
+type ColdRestartReport struct {
+	Method string `json:"method"`
+	N      int    `json:"n"`
+	NNZ    int    `json:"nnz_per_row"`
+	Trials int    `json:"trials"`
+	// ColdPrepMS is the minimum first-request prepare latency on a fresh
+	// daemon without a store (full Prepare); RestoredPrepMS the same
+	// with a warmed store (restore path). Both are the server-measured
+	// prepare phase, unquantized.
+	ColdPrepMS     float64 `json:"cold_prep_ms"`
+	RestoredPrepMS float64 `json:"restored_prep_ms"`
+	// Speedup is ColdPrepMS / RestoredPrepMS.
+	Speedup float64 `json:"speedup"`
+	// Restores counts store restores across the restored arm's trials
+	// (one per trial when the store works); Errors any store failures.
+	Restores uint64 `json:"restores"`
+	Errors   uint64 `json:"store_errors"`
+}
+
+// WriteJSON writes the report as an indented JSON artifact.
+func (r ColdRestartReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func (r ColdRestartReport) String() string {
+	return fmt.Sprintf(
+		"cold-restart %s n=%d nnz/row=%d (min of %d):\n  cold Prepare   %.3f ms\n  store restore  %.3f ms\n  speedup        %.1fx\n",
+		r.Method, r.N, r.NNZ, r.Trials, r.ColdPrepMS, r.RestoredPrepMS, r.Speedup)
+}
+
+// coldRestartSolve posts one solve straight into a server's handler and
+// decodes the response. The solve itself is a single fixed-work sweep —
+// the measurement reads the response's prepare-phase latency, so the
+// iteration cost is irrelevant and kept minimal.
+func coldRestartSolve(ctx context.Context, h http.Handler, solve serve.SolveRequest) (serve.SolveResponse, error) {
+	body, err := json.Marshal(solve)
+	if err != nil {
+		return serve.SolveResponse{}, err
+	}
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return serve.SolveResponse{}, fmt.Errorf("load: cold-restart solve status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out serve.SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		return serve.SolveResponse{}, err
+	}
+	return out, nil
+}
+
+// ColdRestart runs the cold-restart measurement: warm a store once, then
+// alternate fresh no-store daemons (full Prepare) with fresh
+// store-backed daemons (restore) and compare their first-request prepare
+// latencies. It fails loudly if the restored arm ever falls back to a
+// fresh Prepare — a silent fallback would invalidate the comparison.
+func ColdRestart(ctx context.Context, opts ColdRestartOptions) (ColdRestartReport, error) {
+	o := opts.withDefaults()
+	solve := serve.SolveRequest{
+		Matrix:    o.spec(),
+		Method:    o.Method,
+		FixedWork: true, MaxSweeps: 1, CheckEvery: 1, Workers: 1,
+	}
+	rep := ColdRestartReport{Method: o.Method, N: o.N, NNZ: o.NNZ, Trials: o.Trials}
+
+	// Warm the backend once: one solve spills the prepared state, Close
+	// drains the writer so the blob is durable before any trial reads it.
+	backend := store.NewMemory()
+	warm := store.NewPrepStore(backend)
+	warmSrv := serve.New(serve.Config{PrepStore: warm, BatchWindow: -1})
+	out, err := coldRestartSolve(ctx, warmSrv.Handler(), solve)
+	warm.Close()
+	if err != nil {
+		return rep, err
+	}
+	if out.PrepRestored || out.PrepHit {
+		return rep, fmt.Errorf("load: warmup solve was not a fresh Prepare: %+v", out)
+	}
+	if c := warm.Counters(); c.Spills == 0 {
+		return rep, fmt.Errorf("load: warmup did not spill (method %q not persistent?): %+v", o.Method, c)
+	}
+
+	for trial := 0; trial < o.Trials; trial++ {
+		// Cold arm: fresh daemon, no store — the first request pays the
+		// full Prepare.
+		cold, err := coldRestartSolve(ctx, serve.New(serve.Config{BatchWindow: -1}).Handler(), solve)
+		if err != nil {
+			return rep, err
+		}
+		if cold.PrepHit || cold.PrepRestored {
+			return rep, fmt.Errorf("load: cold trial %d did not run a fresh Prepare: %+v", trial, cold)
+		}
+		if rep.ColdPrepMS == 0 || cold.PrepMS < rep.ColdPrepMS {
+			rep.ColdPrepMS = cold.PrepMS
+		}
+
+		// Restored arm: fresh daemon over the warmed backend — the first
+		// request restores.
+		ps := store.NewPrepStore(backend)
+		restored, err := coldRestartSolve(ctx, serve.New(serve.Config{PrepStore: ps, BatchWindow: -1}).Handler(), solve)
+		counters := ps.Counters()
+		ps.Close()
+		if err != nil {
+			return rep, err
+		}
+		if !restored.PrepRestored {
+			return rep, fmt.Errorf("load: restored trial %d fell back to a fresh Prepare (store errors: %d)", trial, counters.Errors)
+		}
+		if rep.RestoredPrepMS == 0 || restored.PrepMS < rep.RestoredPrepMS {
+			rep.RestoredPrepMS = restored.PrepMS
+		}
+		rep.Restores += counters.Restores
+		rep.Errors += counters.Errors
+	}
+	if rep.RestoredPrepMS > 0 {
+		rep.Speedup = rep.ColdPrepMS / rep.RestoredPrepMS
+	}
+	return rep, nil
+}

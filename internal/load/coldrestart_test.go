@@ -1,0 +1,45 @@
+package load
+
+// The cold-restart scenario's own gate: the restored arm must actually
+// restore (never silently fall back to a fresh Prepare), the accounting
+// must be exact, and — on a quiet machine — the restore must be
+// materially cheaper than the cold Prepare it replaces.
+
+import (
+	"context"
+	"testing"
+
+	"github.com/asynclinalg/asyrgs/internal/race"
+)
+
+func TestColdRestart(t *testing.T) {
+	opts := ColdRestartOptions{N: 10000, NNZ: 48, Trials: 3, Seed: 7}
+	if testing.Short() {
+		opts.N, opts.NNZ, opts.Trials = 2000, 16, 2
+	}
+	rep, err := ColdRestart(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restores != uint64(opts.Trials) || rep.Errors != 0 {
+		t.Fatalf("restore accounting: %+v (want %d restores, 0 errors)", rep, opts.Trials)
+	}
+	if rep.ColdPrepMS <= 0 || rep.RestoredPrepMS <= 0 {
+		t.Fatalf("degenerate latencies: %+v", rep)
+	}
+
+	// Timing gate: a generous factor — the real speedup is the CSC
+	// transpose build vs a sequential decode, typically several-fold —
+	// asserted only where timing is meaningful (the race detector and
+	// -short's tiny systems make wall-clock comparisons noise).
+	if race.Enabled || testing.Short() {
+		t.Logf("cold-restart (timing gate skipped): %+v", rep)
+		return
+	}
+	if rep.RestoredPrepMS >= rep.ColdPrepMS {
+		t.Fatalf("restore (%.3f ms) not cheaper than cold Prepare (%.3f ms): %+v",
+			rep.RestoredPrepMS, rep.ColdPrepMS, rep)
+	}
+	t.Logf("cold-restart: cold %.3f ms, restored %.3f ms (%.1fx)",
+		rep.ColdPrepMS, rep.RestoredPrepMS, rep.Speedup)
+}

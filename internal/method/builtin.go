@@ -21,28 +21,33 @@ import (
 // entries so drivers and ablation tables are pure data; each entry's
 // prepare hook captures the family's per-matrix state once.
 func init() {
-	Register(&funcMethod{name: "asyrgs", kind: SPD,
-		prepare: corePrepare("asyrgs", core.Options{}, false)})
-	Register(&funcMethod{name: "asyrgs-nonatomic", kind: SPD,
-		prepare: corePrepare("asyrgs-nonatomic", core.Options{NonAtomic: true}, false)})
-	Register(&funcMethod{name: "asyrgs-partitioned", kind: SPD,
-		prepare: corePrepare("asyrgs-partitioned", core.Options{Partitioned: true}, false)})
-	Register(&funcMethod{name: "asyrgs-weighted", kind: SPD,
-		prepare: corePrepare("asyrgs-weighted", core.Options{DiagonalWeighted: true}, false)})
-	Register(&funcMethod{name: "rgs", kind: SPD,
-		prepare: corePrepare("rgs", core.Options{}, true)})
+	registerCore := func(name string, baseOpts core.Options, sequential bool) {
+		Register(&funcMethod{name: name, kind: SPD,
+			prepare: corePrepare(name, baseOpts, sequential),
+			encode:  coreEncode,
+			decode:  coreDecode(name, baseOpts, sequential)})
+	}
+	registerCore("asyrgs", core.Options{}, false)
+	registerCore("asyrgs-nonatomic", core.Options{NonAtomic: true}, false)
+	registerCore("asyrgs-partitioned", core.Options{Partitioned: true}, false)
+	registerCore("asyrgs-weighted", core.Options{DiagonalWeighted: true}, false)
+	registerCore("rgs", core.Options{}, true)
 	Register(&funcMethod{name: "cg", kind: SPD, prepare: cgPrepare})
 	Register(&funcMethod{name: "fcg", kind: SPD, prepare: fcgPrepare})
 	Register(&funcMethod{name: "jacobi", kind: SPD, prepare: stationaryPrepare("jacobi")})
 	Register(&funcMethod{name: "gs", kind: SPD, prepare: stationaryPrepare("gs")})
 	Register(&funcMethod{name: "asyncjacobi", kind: SPD, prepare: stationaryPrepare("asyncjacobi")})
-	Register(&funcMethod{name: "kaczmarz", kind: SPD, prepare: kaczmarzPrepare})
-	Register(&funcMethod{name: "lsqcd", kind: LeastSquares,
-		prepare: lsqPrepare("lsqcd", true, false)})
-	Register(&funcMethod{name: "lsqcd-async", kind: LeastSquares,
-		prepare: lsqPrepare("lsqcd-async", false, false)})
-	Register(&funcMethod{name: "lsqcd-weighted", kind: LeastSquares,
-		prepare: lsqPrepare("lsqcd-weighted", true, true)})
+	Register(&funcMethod{name: "kaczmarz", kind: SPD, prepare: kaczmarzPrepare,
+		encode: kaczmarzEncode, decode: kaczmarzDecode})
+	registerLSQ := func(name string, sequential, weighted bool) {
+		Register(&funcMethod{name: name, kind: LeastSquares,
+			prepare: lsqPrepare(name, sequential, weighted),
+			encode:  lsqEncode,
+			decode:  lsqDecode(name, sequential, weighted)})
+	}
+	registerLSQ("lsqcd", true, false)
+	registerLSQ("lsqcd-async", false, false)
+	registerLSQ("lsqcd-weighted", true, true)
 }
 
 // resolvePrecision canonicalizes opts.Precision, reporting whether the
@@ -99,35 +104,42 @@ type corePrepared struct {
 // synchronous Randomized Gauss–Seidel iteration).
 func corePrepare(name string, baseOpts core.Options, sequential bool) prepareFunc {
 	return func(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
-		f32, err := resolvePrecision(opts)
-		if err != nil {
-			return nil, err
-		}
 		prep, err := core.PrepareMatrix(a)
 		if err != nil {
 			return nil, err
 		}
-		p := &corePrepared{
-			preparedBase: base(name, SPD, a),
-			prep:         prep, baseOpts: baseOpts, sequential: sequential,
-		}
-		if f32 {
-			// Build the rounded view eagerly so underflow surfaces at
-			// prepare time and the serving prep cache amortizes the copy.
-			if p.a32, err = prep.Float32View(); err != nil {
-				return nil, err
-			}
-			p.baseOpts.Float32 = true
-		}
-		if baseOpts.DiagonalWeighted {
-			// Surface the positive-diagonal requirement at prepare time;
-			// the CDF itself is memoized inside the Prep.
-			if _, err := core.NewFromPrep(prep, baseOpts); err != nil {
-				return nil, err
-			}
-		}
-		return p, nil
+		return finishCorePrepared(name, baseOpts, sequential, a, prep, opts)
 	}
+}
+
+// finishCorePrepared applies the post-PrepareMatrix option handling —
+// precision views and weighted-sampling validation — shared by fresh
+// preparation and store restores, so both paths build identical systems.
+func finishCorePrepared(name string, baseOpts core.Options, sequential bool, a *sparse.CSR, prep *core.Prep, opts Opts) (PreparedSystem, error) {
+	f32, err := resolvePrecision(opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &corePrepared{
+		preparedBase: base(name, SPD, a),
+		prep:         prep, baseOpts: baseOpts, sequential: sequential,
+	}
+	if f32 {
+		// Build the rounded view eagerly so underflow surfaces at
+		// prepare time and the serving prep cache amortizes the copy.
+		if p.a32, err = prep.Float32View(); err != nil {
+			return nil, err
+		}
+		p.baseOpts.Float32 = true
+	}
+	if baseOpts.DiagonalWeighted {
+		// Surface the positive-diagonal requirement at prepare time;
+		// the CDF itself is memoized inside the Prep.
+		if _, err := core.NewFromPrep(prep, baseOpts); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // fork readies a per-solve core.Solver over the shared prepared state,
@@ -476,11 +488,17 @@ type kaczmarzPrepared struct {
 }
 
 func kaczmarzPrepare(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
-	f32, err := resolvePrecision(opts)
+	prep, err := kaczmarz.PrepareMatrix(a)
 	if err != nil {
 		return nil, err
 	}
-	prep, err := kaczmarz.PrepareMatrix(a)
+	return finishKaczmarzPrepared(a, prep, opts)
+}
+
+// finishKaczmarzPrepared applies the post-PrepareMatrix option handling
+// shared by fresh preparation and store restores.
+func finishKaczmarzPrepared(a *sparse.CSR, prep *kaczmarz.Prep, opts Opts) (PreparedSystem, error) {
+	f32, err := resolvePrecision(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -544,27 +562,33 @@ type lsqPrepared struct {
 
 func lsqPrepare(name string, sequential, weighted bool) prepareFunc {
 	return func(_ context.Context, a *sparse.CSR, opts Opts) (PreparedSystem, error) {
-		f32, err := resolvePrecision(opts)
-		if err != nil {
-			return nil, err
-		}
 		prep, err := lsq.PrepareMatrix(a)
 		if err != nil {
 			return nil, err
 		}
-		if weighted || f32 {
-			// Surface alias-table and rounded-view validation at prepare
-			// time; both are memoized inside the Prep, so the serving prep
-			// cache amortizes their construction.
-			if _, err := lsq.NewFromPrep(prep, lsq.Options{NormWeighted: weighted, Float32: f32}); err != nil {
-				return nil, err
-			}
-		}
-		return &lsqPrepared{
-			preparedBase: base(name, LeastSquares, a),
-			prep:         prep, sequential: sequential, weighted: weighted, f32: f32,
-		}, nil
+		return finishLSQPrepared(name, sequential, weighted, a, prep, opts)
 	}
+}
+
+// finishLSQPrepared applies the post-PrepareMatrix option handling
+// shared by fresh preparation and store restores.
+func finishLSQPrepared(name string, sequential, weighted bool, a *sparse.CSR, prep *lsq.Prep, opts Opts) (PreparedSystem, error) {
+	f32, err := resolvePrecision(opts)
+	if err != nil {
+		return nil, err
+	}
+	if weighted || f32 {
+		// Surface alias-table and rounded-view validation at prepare
+		// time; both are memoized inside the Prep, so the serving prep
+		// cache amortizes their construction.
+		if _, err := lsq.NewFromPrep(prep, lsq.Options{NormWeighted: weighted, Float32: f32}); err != nil {
+			return nil, err
+		}
+	}
+	return &lsqPrepared{
+		preparedBase: base(name, LeastSquares, a),
+		prep:         prep, sequential: sequential, weighted: weighted, f32: f32,
+	}, nil
 }
 
 func (p *lsqPrepared) Solve(ctx context.Context, b, x []float64, opts Opts) (Result, error) {

@@ -24,9 +24,9 @@ func TestCacheLRUEviction(t *testing.T) {
 	if _, hit, _ := c.getOrBuild("k0", tinyMatrix); hit {
 		t.Fatal("k0 should have been evicted")
 	}
-	hits, misses, evictions, size := c.counters()
-	if hits != 0 || misses != 4 || evictions < 1 || size != 2 {
-		t.Fatalf("counters: hits=%d misses=%d evictions=%d size=%d", hits, misses, evictions, size)
+	hits, misses, evictions, drops, _, size := c.counters()
+	if hits != 0 || misses != 4 || evictions < 1 || drops != 0 || size != 2 {
+		t.Fatalf("counters: hits=%d misses=%d evictions=%d drops=%d size=%d", hits, misses, evictions, drops, size)
 	}
 }
 
@@ -88,6 +88,191 @@ func TestCacheSharedBuild(t *testing.T) {
 		if out[i] != out[0] {
 			t.Fatal("clients received different matrices for one key")
 		}
+	}
+}
+
+// A caller that joins an in-flight build which then fails must receive
+// the error as a miss: no hit counted, hit=false. The entry is staged
+// exactly as a creator leaves it mid-build (unresolved, build pending),
+// so the join path runs deterministically in this goroutine.
+func TestCacheFailedJoinCountsNoHit(t *testing.T) {
+	c := newSessionCache[*sparse.CSR](4)
+	boom := errors.New("boom")
+	s := &session[*sparse.CSR]{key: "k", build: func() (*sparse.CSR, error) { return nil, boom }}
+	c.items["k"] = c.ll.PushFront(s)
+	c.misses++
+
+	_, hit, err := c.getOrBuild("k", func() (*sparse.CSR, error) {
+		t.Error("joiner must wait on the in-flight build, not rebuild")
+		return nil, nil
+	})
+	if hit {
+		t.Fatal("joining a failed build counted as a hit")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	hits, _, _, _, _, _ := c.counters()
+	if hits != 0 {
+		t.Fatalf("hits = %d, want 0 (the build failed)", hits)
+	}
+}
+
+// An arrival in the window between a failed build resolving and its
+// builder removing the entry must not be handed the cached error: the
+// entry is dropped and rebuilt as a miss.
+func TestCacheStaleFailureRebuilt(t *testing.T) {
+	c := newSessionCache[*sparse.CSR](4)
+	boom := errors.New("boom")
+	s := &session[*sparse.CSR]{key: "k", build: func() (*sparse.CSR, error) { return nil, boom }}
+	s.await() // resolve the failure; the builder has not yet dropped it
+	c.items["k"] = c.ll.PushFront(s)
+	c.misses++
+
+	a, hit, err := c.getOrBuild("k", tinyMatrix)
+	if err != nil || hit || a == nil {
+		t.Fatalf("stale failure replayed: a=%v hit=%v err=%v", a, hit, err)
+	}
+	hits, misses, evictions, drops, _, size := c.counters()
+	if hits != 0 || misses != 2 || drops != 1 || size != 1 {
+		t.Fatalf("counters: hits=%d misses=%d drops=%d size=%d", hits, misses, drops, size)
+	}
+	if want := misses - evictions - drops; uint64(size) != want {
+		t.Fatalf("invariant: size=%d, misses-evictions-drops=%d", size, want)
+	}
+}
+
+// Eviction must pass over a still-building entry: evicting it would
+// detach the in-flight build and make the next same-key request
+// silently duplicate an expensive Prepare.
+func TestCacheEvictionSkipsInFlight(t *testing.T) {
+	c := newSessionCache[*sparse.CSR](1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var aBuilds atomic.Int64
+	creatorDone := make(chan struct{})
+	go func() {
+		defer close(creatorDone)
+		_, _, err := c.getOrBuild("a", func() (*sparse.CSR, error) {
+			aBuilds.Add(1)
+			close(started)
+			<-release
+			return tinyMatrix()
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+
+	// Inserting "b" overflows capacity 1, but the in-flight "a" must
+	// survive the eviction scan.
+	if _, _, err := c.getOrBuild("b", tinyMatrix); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _, skips, size := c.counters()
+	if skips == 0 {
+		t.Fatal("eviction scan did not record skipping the in-flight entry")
+	}
+	if size != 2 {
+		t.Fatalf("size = %d, want 2 (temporarily over capacity)", size)
+	}
+
+	// A second request for "a" must join the one in-flight build.
+	joinerDone := make(chan struct{})
+	go func() {
+		defer close(joinerDone)
+		_, hit, err := c.getOrBuild("a", func() (*sparse.CSR, error) {
+			aBuilds.Add(1)
+			return tinyMatrix()
+		})
+		if err != nil || !hit {
+			t.Errorf("joiner: hit=%v err=%v", hit, err)
+		}
+	}()
+	close(release)
+	<-creatorDone
+	<-joinerDone
+	if n := aBuilds.Load(); n != 1 {
+		t.Fatalf("'a' built %d times, want 1 (eviction duplicated the build)", n)
+	}
+
+	// With everything resolved, the next insertion trims back to cap.
+	if _, _, err := c.getOrBuild("c", tinyMatrix); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, evictions, drops, _, size := c.counters()
+	if size != 1 {
+		t.Fatalf("size = %d after trim, want 1", size)
+	}
+	if want := misses - evictions - drops; uint64(size) != want {
+		t.Fatalf("invariant: size=%d misses=%d evictions=%d drops=%d", size, misses, evictions, drops)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (the joiner)", hits)
+	}
+}
+
+// The accounting invariant size == misses − evictions − drops must hold
+// at quiescence under concurrent hits, misses, failures, shared builds
+// and evictions — the combined regression for the three accounting
+// fixes (failed-join hits, stale-failure replay, in-flight eviction).
+func TestCacheCounterInvariantUnderChurn(t *testing.T) {
+	c := newSessionCache[int](4)
+	boom := errors.New("boom")
+	const goroutines, ops, keys = 8, 300, 11
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i*13)%keys)
+				fail := (g+i)%5 == 0
+				v, hit, err := c.getOrBuild(key, func() (int, error) {
+					if fail {
+						return 0, boom
+					}
+					return 1, nil
+				})
+				if hit && (err != nil || v != 1) {
+					t.Errorf("hit with v=%d err=%v", v, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses, evictions, drops, _, size := c.counters()
+	if want := misses - evictions - drops; uint64(size) != want {
+		t.Fatalf("invariant broken: size=%d misses=%d evictions=%d drops=%d (want size=%d)",
+			size, misses, evictions, drops, want)
+	}
+	if size != c.len() || size > 2*keys {
+		t.Fatalf("size bookkeeping: size=%d len=%d", size, c.len())
+	}
+	_ = hits
+}
+
+// onEvict must observe every successfully built entry that capacity
+// eviction removes — the prep cache's spill-on-eviction hook — and must
+// not observe dropped failures.
+func TestCacheOnEvictHook(t *testing.T) {
+	c := newSessionCache[int](1)
+	var evicted []string
+	c.onEvict = func(key string, v int) {
+		if v != 1 {
+			t.Errorf("onEvict(%q, %d)", key, v)
+		}
+		evicted = append(evicted, key)
+	}
+	one := func() (int, error) { return 1, nil }
+	c.getOrBuild("a", one)
+	c.getOrBuild("bad", func() (int, error) { return 0, errors.New("boom") })
+	c.getOrBuild("b", one) // evicts a
+	c.getOrBuild("c", one) // evicts b
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Fatalf("evicted = %v, want [a b]", evicted)
 	}
 }
 

@@ -89,6 +89,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "asyrgsd_cache_events_total{cache=%q,event=\"hit\"} %d\n", c.name, c.cs.Hits)
 		fmt.Fprintf(&b, "asyrgsd_cache_events_total{cache=%q,event=\"miss\"} %d\n", c.name, c.cs.Misses)
 		fmt.Fprintf(&b, "asyrgsd_cache_events_total{cache=%q,event=\"eviction\"} %d\n", c.name, c.cs.Evictions)
+		fmt.Fprintf(&b, "asyrgsd_cache_events_total{cache=%q,event=\"drop\"} %d\n", c.name, c.cs.Drops)
+		fmt.Fprintf(&b, "asyrgsd_cache_events_total{cache=%q,event=\"evict_skip\"} %d\n", c.name, c.cs.EvictSkips)
+	}
+
+	if ss := st.PrepStore; ss != nil {
+		counter("asyrgsd_prep_restores_total", "Prepared systems rebuilt from the durable prep store.", ss.Restores)
+		counter("asyrgsd_prep_spills_total", "Prepared systems written to the durable prep store.", ss.Spills)
+		counter("asyrgsd_store_errors_total", "Durable prep-store read, decode or write failures.", ss.Errors)
+		counter("asyrgsd_spill_drops_total", "Spills dropped because the store's write queue was full.", ss.Dropped)
+		fmt.Fprintf(&b, "# HELP asyrgsd_prep_store_blobs Blobs currently held by the durable prep store.\n# TYPE asyrgsd_prep_store_blobs gauge\nasyrgsd_prep_store_blobs %d\n", ss.Blobs)
 	}
 
 	fmt.Fprintf(&b, "# HELP asyrgsd_method_requests_total Solved requests by registry method.\n# TYPE asyrgsd_method_requests_total counter\n")

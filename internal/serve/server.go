@@ -39,6 +39,7 @@ import (
 	"github.com/asynclinalg/asyrgs/internal/method"
 	"github.com/asynclinalg/asyrgs/internal/sparse"
 	"github.com/asynclinalg/asyrgs/internal/stats"
+	"github.com/asynclinalg/asyrgs/internal/store"
 	"github.com/asynclinalg/asyrgs/internal/workload"
 )
 
@@ -76,6 +77,12 @@ type Config struct {
 	// MaxBodyBytes caps the request body (inline MatrixMarket text can
 	// be large); zero means 64 MiB.
 	MaxBodyBytes int64
+	// PrepStore, when non-nil, is the durable prepared-system store
+	// behind the prep LRU: misses try a restore before running Prepare,
+	// successful fresh builds and evicted entries spill to it on a
+	// background writer. Nil disables persistence. The server does not
+	// own the store — the caller Closes it after the server stops.
+	PrepStore *store.PrepStore
 }
 
 func (c Config) withDefaults() Config {
@@ -365,6 +372,16 @@ type SolveResponse struct {
 	// cache hit (the request skipped the Prepare phase entirely).
 	CacheHit bool `json:"cache_hit"`
 	PrepHit  bool `json:"prep_hit"`
+	// PrepRestored reports that this request's prepared system was
+	// rebuilt from the durable prep store instead of a fresh Prepare.
+	// Only the request that ran the build sees it; concurrent requests
+	// that joined the same build report PrepHit.
+	PrepRestored bool `json:"prep_restored,omitempty"`
+	// PrepMS is the wall time of this request's prepare phase — cache
+	// lookup, restore or fresh preparation, and any admission-gate wait.
+	// Unquantized (the /stats stage histograms bucket by powers of two),
+	// so cold-restart benchmarks can compare restore against Prepare.
+	PrepMS float64 `json:"prep_ms"`
 	// BatchSize is the number of right-hand sides solved together in the
 	// batch this request was part of (explicit bs entries, or coalesced
 	// concurrent requests; 1 when the solve ran alone).
@@ -400,6 +417,9 @@ type Stats struct {
 	// LRU (a PrepCache hit skips Gram/row-norm/diagonal preparation).
 	Cache     CacheStats `json:"cache"`
 	PrepCache CacheStats `json:"prep_cache"`
+	// PrepStore reports durable prep-store traffic; absent when the
+	// server runs without a store.
+	PrepStore *PrepStoreStats `json:"prep_store,omitempty"`
 	// Batches counts solve batches executed behind the admission gate;
 	// CoalescedRequests counts requests that shared a batch with at least
 	// one other concurrent request.
@@ -421,13 +441,29 @@ type Stats struct {
 	SizeBands map[string]LatencySummary `json:"size_bands"`
 }
 
-// CacheStats reports one session cache's counters.
+// CacheStats reports one session cache's counters. The invariant
+// size == misses − evictions − drops holds at any quiescent point:
+// every entry is created by exactly one miss and removed by exactly one
+// eviction or failed-build drop.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
+	// Drops counts failed builds removed from the cache (never served
+	// as hits).
+	Drops uint64 `json:"drops"`
+	// EvictSkips counts still-building entries the eviction scan passed
+	// over instead of detaching an in-flight Prepare.
+	EvictSkips uint64 `json:"evict_skips"`
+	Size       int    `json:"size"`
+	Capacity   int    `json:"capacity"`
+}
+
+// PrepStoreStats reports the durable prep store's traffic: restore,
+// spill and error counters plus the number of blobs currently held.
+type PrepStoreStats struct {
+	store.Counters
+	Blobs int `json:"blobs"`
 }
 
 // errAtCapacity marks work shed at the admission gate.
@@ -565,6 +601,7 @@ type Server struct {
 	cfg         Config
 	matrixCache *sessionCache[*sparse.CSR]
 	prepCache   *sessionCache[method.PreparedSystem]
+	prepStore   *store.PrepStore
 	gate        chan struct{}
 	mux         *http.ServeMux
 	start       time.Time
@@ -609,6 +646,7 @@ func New(cfg Config) *Server {
 		cfg:         cfg,
 		matrixCache: newSessionCache[*sparse.CSR](cfg.CacheSize),
 		prepCache:   newSessionCache[method.PreparedSystem](cfg.PrepCacheSize),
+		prepStore:   cfg.PrepStore,
 		gate:        make(chan struct{}, cfg.MaxConcurrent),
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
@@ -618,6 +656,13 @@ func New(cfg Config) *Server {
 		methodLat:   map[string]*stats.AtomicPow2Histogram{},
 		stageLat:    map[string]*stats.AtomicPow2Histogram{},
 		bandLat:     map[string]*stats.AtomicPow2Histogram{},
+	}
+	if s.prepStore != nil {
+		// Evicted prepared systems spill before leaving memory, so LRU
+		// pressure demotes state to the store instead of destroying it.
+		// The hook runs outside the cache lock; encoding runs on the
+		// store's writer goroutine.
+		s.prepCache.onEvict = s.spillPrepared
 	}
 	for _, ep := range endpoints {
 		s.endpointLat[ep] = &stats.AtomicPow2Histogram{}
@@ -692,6 +737,10 @@ func (s *Server) counterSnapshot() Stats {
 		perMethod[k] = v
 	}
 	s.methodMu.Unlock()
+	var storeStats *PrepStoreStats
+	if s.prepStore != nil {
+		storeStats = &PrepStoreStats{Counters: s.prepStore.Counters(), Blobs: s.prepStore.Len()}
+	}
 	return Stats{
 		Requests:          s.requests.Load(),
 		Solved:            s.solved.Load(),
@@ -701,6 +750,7 @@ func (s *Server) counterSnapshot() Stats {
 		UptimeSec:         time.Since(s.start).Seconds(),
 		Cache:             s.matrixCache.stats(s.cfg.CacheSize),
 		PrepCache:         s.prepCache.stats(s.cfg.PrepCacheSize),
+		PrepStore:         storeStats,
 		Batches:           s.batches.Load(),
 		CoalescedRequests: s.coalesced.Load(),
 		PerMethod:         perMethod,
@@ -823,6 +873,53 @@ func (s *Server) runBatch(ps method.PreparedSystem, opts method.Opts, items []*s
 	}
 }
 
+// spillPrepared enqueues ps's prepared state for durable storage; it is
+// both the prep cache's eviction hook and the fresh-build spill path.
+// Non-persistent methods are skipped. The enqueue is non-blocking and
+// encoding runs on the store's writer goroutine, so neither eviction nor
+// the request path ever waits on serialization or backend I/O.
+func (s *Server) spillPrepared(prepKey string, ps method.PreparedSystem) {
+	if s.prepStore == nil {
+		return
+	}
+	m, err := method.Get(ps.Method())
+	if err != nil {
+		return
+	}
+	pp, ok := method.AsPersistent(m)
+	if !ok {
+		return
+	}
+	s.prepStore.Spill(prepKey, func() ([]byte, error) { return pp.EncodePrepared(ps) })
+}
+
+// restorePrepared tries to rebuild a prepared system from the durable
+// store. Any failure — no store, non-persistent method, missing or
+// corrupted blob, undecodable payload — reports false and the caller
+// falls back to a fresh Prepare; a blob whose envelope verified but
+// whose payload does not decode is counted as a store error and
+// discarded so the next miss rebuilds fresh instead of retrying it.
+func (s *Server) restorePrepared(prepKey string, m method.Method, a *sparse.CSR, opts method.Opts) (method.PreparedSystem, bool) {
+	if s.prepStore == nil {
+		return nil, false
+	}
+	pp, ok := method.AsPersistent(m)
+	if !ok {
+		return nil, false
+	}
+	payload, ok := s.prepStore.Fetch(prepKey)
+	if !ok {
+		return nil, false
+	}
+	ps, err := pp.DecodePrepared(a, payload, opts)
+	if err != nil {
+		s.prepStore.CountError(prepKey)
+		return nil, false
+	}
+	s.prepStore.CountRestore()
+	return ps, true
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	start := time.Now()
@@ -908,11 +1005,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		prepKey += "|" + pk.PrepKey(opts)
 	}
 	prepStart := time.Now()
+	// prepRestored is written at most once, inside the build closure, and
+	// read only after getOrBuild returns; the cache's once-latch orders
+	// the write before every return, whichever goroutine ran the build.
+	var prepRestored bool
 	ps, prepHit, err := s.prepCache.getOrBuild(prepKey, func() (method.PreparedSystem, error) {
 		if !s.acquireGate() {
 			return nil, errAtCapacity
 		}
 		defer s.releaseGate()
+		// A prep-LRU miss tries the durable store first: restoring skips
+		// the Prepare pass entirely (decode validates structure; the
+		// store already verified integrity).
+		if ps, ok := s.restorePrepared(prepKey, m, a, opts); ok {
+			prepRestored = true
+			return ps, nil
+		}
 		// The prepared system is shared by every coalesced waiter and by
 		// all future cache hits, so the build must not ride the first
 		// arrival's request context: a leader disconnecting mid-Prepare
@@ -920,9 +1028,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// the server's lifetime, capped by the per-solve budget.
 		pctx, cancel := context.WithTimeout(context.Background(), s.cfg.SolveTimeout)
 		defer cancel()
-		return method.Prepare(pctx, m, a, opts)
+		ps, err := method.Prepare(pctx, m, a, opts)
+		if err == nil {
+			// Spill freshly built state immediately (not only on
+			// eviction), so a restart after a crash still finds it.
+			s.spillPrepared(prepKey, ps)
+		}
+		return ps, err
 	})
-	s.observeStage("prepare", time.Since(prepStart))
+	prepWall := time.Since(prepStart)
+	s.observeStage("prepare", prepWall)
 	switch {
 	case errors.Is(err, errAtCapacity):
 		s.reject(w, "server at capacity (%d batches in flight); retry later", s.cfg.MaxConcurrent)
@@ -1037,8 +1152,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	respondStart := time.Now()
 	resp := SolveResponse{
 		Method: it.res.Method, Kind: m.Kind().String(), MatrixKey: key,
-		CacheHit: hit, PrepHit: prepHit, BatchSize: it.batchSize,
-		Rows: a.Rows, Cols: a.Cols,
+		CacheHit: hit, PrepHit: prepHit, PrepRestored: prepRestored,
+		PrepMS:    float64(prepWall) / float64(time.Millisecond),
+		BatchSize: it.batchSize,
+		Rows:      a.Rows, Cols: a.Cols,
 		Residual: it.res.Residual, Converged: it.res.Converged,
 		Sweeps: it.res.Sweeps, Iterations: it.res.Iterations,
 		WallMS: float64(it.res.Wall) / float64(time.Millisecond), ObservedTau: it.res.ObservedTau,

@@ -1,0 +1,219 @@
+// Package store is the durable tier behind the daemon's prepared-system
+// LRU: a content-addressed blob store with pluggable backends and
+// integrity-checked load. Prepared solver state (Gram/CSC views, norms,
+// sampling weights) is expensive to rebuild and cheap to serialize, so a
+// restart or eviction no longer throws the Prepare work away — blobs are
+// keyed by the serving layer's prepKey (matrix hash × method ×
+// prep-opts) and verified with sha256 on every read, so a corrupted or
+// truncated blob degrades to a fresh Prepare instead of wrong state.
+//
+// The package has three layers:
+//
+//   - Backend: a minimal blob interface (Put/Get/Delete/Len) with a
+//     process-memory implementation and a local-directory implementation;
+//     an S3-compatible backend slots in behind the same four calls.
+//   - the blob envelope (blob.go): a versioned binary frame carrying the
+//     key echo and the payload's sha256, checked on decode.
+//   - PrepStore (prepstore.go): the serving-facing wrapper that restores
+//     synchronously and spills through one bounded background writer, so
+//     encoding and backend writes never run on a request path.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound reports a key with no stored blob. Backends must return it
+// (or wrap it) from Get and Delete for absent keys so callers can tell a
+// miss from an I/O failure.
+var ErrNotFound = errors.New("store: blob not found")
+
+// Backend is the pluggable blob layer: a flat keyed byte store with no
+// semantics beyond durability of Put. Implementations must be safe for
+// concurrent use. The interface is deliberately the intersection of a
+// process map, a directory, and an S3-style object store — Put is a full
+// overwrite, Get returns the whole blob, and listing is reduced to a
+// count (the store is content-addressed, so enumeration is never needed
+// to serve traffic).
+type Backend interface {
+	// Put durably stores blob under key, replacing any previous value.
+	Put(key string, blob []byte) error
+	// Get returns the blob stored under key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Delete removes key's blob; deleting an absent key is ErrNotFound.
+	Delete(key string) error
+	// Len returns the number of stored blobs (diagnostics only).
+	Len() (int, error)
+}
+
+// Memory is the in-process Backend: a mutex-guarded map. It makes the
+// spill/restore machinery testable without touching disk and doubles as
+// a shared cache tier when several servers run in one process.
+type Memory struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemory returns an empty in-process backend.
+func NewMemory() *Memory {
+	return &Memory{blobs: map[string][]byte{}}
+}
+
+// Put stores a private copy of blob, so callers may reuse their buffer.
+func (m *Memory) Put(key string, blob []byte) error {
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	m.mu.Lock()
+	m.blobs[key] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Get returns the stored blob. The returned slice is shared — callers
+// must not mutate it (DecodeBlob only reads).
+func (m *Memory) Get(key string) ([]byte, error) {
+	m.mu.Lock()
+	blob, ok := m.blobs[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return blob, nil
+}
+
+// Delete removes the blob.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[key]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	delete(m.blobs, key)
+	return nil
+}
+
+// Len returns the number of stored blobs.
+func (m *Memory) Len() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs), nil
+}
+
+// Dir is the local-filesystem Backend: one file per blob under a root
+// directory, written atomically (temp file + rename) so a crash mid-Put
+// never leaves a torn blob where Get can find it. File names embed a
+// sanitized prefix of the key for operator readability plus the key's
+// full sha256, which is what actually addresses the blob — two distinct
+// keys can never collide on one file.
+type Dir struct {
+	root string
+}
+
+// blobExt marks the backend's files, so a sweep of the directory can
+// tell its blobs from anything else living there.
+const blobExt = ".asps"
+
+// NewDir opens (creating if needed) a directory-backed store rooted at
+// root.
+func NewDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating blob dir: %w", err)
+	}
+	return &Dir{root: root}, nil
+}
+
+// Root returns the backing directory.
+func (d *Dir) Root() string { return d.root }
+
+// path maps a key to its file. The readable prefix keeps `ls` useful;
+// the sha256 hex makes the mapping injective regardless of what
+// characters the key contains.
+func (d *Dir) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	var pfx strings.Builder
+	for _, r := range key {
+		if pfx.Len() >= 40 {
+			break
+		}
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			pfx.WriteRune(r)
+		default:
+			pfx.WriteByte('_')
+		}
+	}
+	return filepath.Join(d.root, pfx.String()+"-"+hex.EncodeToString(sum[:])+blobExt)
+}
+
+// Put writes the blob to a temp file in the same directory and renames
+// it over the final name — atomic on POSIX filesystems, so readers see
+// either the old blob or the new one, never a prefix.
+func (d *Dir) Put(key string, blob []byte) error {
+	dst := d.path(key)
+	tmp, err := os.CreateTemp(d.root, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp blob: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: writing blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: closing blob: %w", err)
+	}
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: publishing blob: %w", err)
+	}
+	return nil
+}
+
+// Get reads the whole blob file.
+func (d *Dir) Get(key string) ([]byte, error) {
+	blob, err := os.ReadFile(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading blob: %w", err)
+	}
+	return blob, nil
+}
+
+// Delete removes the blob file.
+func (d *Dir) Delete(key string) error {
+	err := os.Remove(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return fmt.Errorf("store: deleting blob: %w", err)
+	}
+	return nil
+}
+
+// Len counts the store's blob files under the root.
+func (d *Dir) Len() (int, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return 0, fmt.Errorf("store: listing blob dir: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), blobExt) {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+)
+
+// The blob envelope is the on-backend frame around a method-encoded
+// payload. Layout (little-endian):
+//
+//	magic   [4]byte  "ASPS"
+//	version u16      envelope format (1)
+//	key     str      the content-addressed prepKey, echoed for pairing
+//	sum     [32]byte sha256 of the payload
+//	payload bytes64  the method family's encoded prepared state
+//
+// DecodeBlob re-derives the payload hash and compares it to the stored
+// sum, so any bit flip, truncation, or splice between Put and Get fails
+// verification. The key echo defends against backend-level misfiling: a
+// blob returned for the wrong key (a buggy backend, a hand-moved file)
+// is rejected even though its hash is internally consistent.
+
+// blobMagic brands every envelope ("ASyrgs Prepared System").
+var blobMagic = [4]byte{'A', 'S', 'P', 'S'}
+
+// blobVersion is the current envelope format. Decoders reject other
+// versions, so a future layout change can never be misparsed as v1.
+const blobVersion = 1
+
+// EncodeBlob frames a payload for storage under key.
+func EncodeBlob(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var e Enc
+	e.buf = make([]byte, 0, len(key)+len(payload)+64)
+	e.buf = append(e.buf, blobMagic[:]...)
+	e.U32(blobVersion)
+	e.Str(key)
+	e.buf = append(e.buf, sum[:]...)
+	e.Bytes64(payload)
+	return e.Bytes()
+}
+
+// DecodeBlob verifies an envelope read back for key and returns its
+// payload. Any structural damage, version or key mismatch, or hash
+// mismatch returns an error wrapping ErrCorrupt — callers treat all of
+// them as "this blob does not exist" and fall back to a fresh Prepare.
+func DecodeBlob(key string, blob []byte) ([]byte, error) {
+	d := NewDec(blob)
+	magic := d.take(4)
+	if d.Err() == nil && !bytes.Equal(magic, blobMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := d.U32(); d.Err() == nil && v != blobVersion {
+		return nil, fmt.Errorf("%w: envelope version %d, want %d", ErrCorrupt, v, blobVersion)
+	}
+	if k := d.Str(); d.Err() == nil && k != key {
+		return nil, fmt.Errorf("%w: blob is keyed %q, wanted %q", ErrCorrupt, k, key)
+	}
+	sum := d.take(sha256.Size)
+	payload := d.Bytes64()
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	if got := sha256.Sum256(payload); !bytes.Equal(sum, got[:]) {
+		return nil, fmt.Errorf("%w: payload hash mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}

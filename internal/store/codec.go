@@ -1,0 +1,218 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Enc and Dec are the store's little-endian binary codec, shared by the
+// blob envelope and by the method-family payload codecs. They exist so
+// the per-family serializers stay declarative (a sequence of typed
+// appends and reads) and so every decode path inherits one set of
+// defensive bounds checks: a length prefix is validated against the
+// bytes actually remaining before anything is allocated, which keeps a
+// corrupted or adversarial payload from requesting an absurd slice.
+
+// ErrCorrupt reports a payload that failed structural decoding: a
+// truncated field, a length prefix exceeding the remaining bytes, or a
+// trailing-garbage mismatch.
+var ErrCorrupt = errors.New("store: corrupt payload")
+
+// Enc appends typed fields to a growing buffer.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Int appends a non-negative int as a uint64.
+func (e *Enc) Int(v int) { e.U64(uint64(v)) }
+
+// Bytes64 appends a length-prefixed byte slice.
+func (e *Enc) Bytes64(v []byte) {
+	e.U64(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(v string) {
+	e.U64(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// F64s appends a length-prefixed float64 slice as raw IEEE-754 bits.
+func (e *Enc) F64s(v []float64) {
+	e.U64(uint64(len(v)))
+	for _, f := range v {
+		e.U64(math.Float64bits(f))
+	}
+}
+
+// Ints appends a length-prefixed []int, each entry as a uint64.
+func (e *Enc) Ints(v []int) {
+	e.U64(uint64(len(v)))
+	for _, i := range v {
+		e.U64(uint64(i))
+	}
+}
+
+// Dec consumes typed fields from a buffer. The first malformed read
+// latches Err and every later read returns zero values, so decoders can
+// read a whole record and check the error once at the end.
+type Dec struct {
+	buf []byte
+	err error
+}
+
+// NewDec wraps a buffer for decoding.
+func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// Err returns the latched decode error, nil while the stream is healthy.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Dec) Remaining() int { return len(d.buf) }
+
+// Close verifies the stream was consumed exactly: trailing bytes latch
+// ErrCorrupt (a well-formed record has no slack).
+func (d *Dec) Close() error {
+	if d.err == nil && len(d.buf) != 0 {
+		d.err = fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return d.err
+}
+
+// take consumes n bytes, latching ErrCorrupt on underflow.
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf) {
+		d.err = fmt.Errorf("%w: need %d bytes, have %d", ErrCorrupt, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int reads a uint64 and narrows it to a non-negative int, latching
+// ErrCorrupt if the value does not fit.
+func (d *Dec) Int() int {
+	v := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if v > math.MaxInt64 || int64(v) < 0 || uint64(int(v)) != v {
+		d.err = fmt.Errorf("%w: integer %d out of range", ErrCorrupt, v)
+		return 0
+	}
+	return int(v)
+}
+
+// sliceLen validates a length prefix against the remaining bytes at
+// elemSize bytes per element before any allocation happens.
+func (d *Dec) sliceLen(elemSize int) int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf))/uint64(elemSize) {
+		d.err = fmt.Errorf("%w: slice of %d elements exceeds %d remaining bytes", ErrCorrupt, n, len(d.buf))
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes64 reads a length-prefixed byte slice (a copy).
+func (d *Dec) Bytes64() []byte {
+	n := d.sliceLen(1)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	cp := make([]byte, n)
+	copy(cp, b)
+	return cp
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := d.sliceLen(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// F64s reads a length-prefixed float64 slice.
+func (d *Dec) F64s() []float64 {
+	n := d.sliceLen(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(d.U64())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int.
+func (d *Dec) Ints() []int {
+	n := d.sliceLen(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}

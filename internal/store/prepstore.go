@@ -1,0 +1,208 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// spillQueueCap bounds the background writer's queue. A full queue drops
+// the spill (counted) instead of blocking the caller: the store is an
+// optimization tier, and the worst case of a drop is re-preparing after
+// the next restart — never a stalled request.
+const spillQueueCap = 64
+
+// Counters is a snapshot of the store's activity, surfaced on /stats
+// and /metrics.
+type Counters struct {
+	// Restores counts prepared systems successfully decoded from the
+	// backend (each one is a method.Prepare that did not run).
+	Restores uint64 `json:"prep_restores"`
+	// Spills counts prepared systems durably written by the background
+	// writer.
+	Spills uint64 `json:"prep_spills"`
+	// Errors counts failed store interactions: backend I/O failures,
+	// integrity-check failures, and payload-decode failures. Corrupted
+	// blobs are deleted when counted, so one bad blob is one error, not
+	// one per request.
+	Errors uint64 `json:"store_errors"`
+	// Dropped counts spills discarded because the writer queue was full.
+	Dropped uint64 `json:"spill_drops"`
+}
+
+// spillReq is one unit of background-writer work: either a pending
+// spill (enc non-nil) or a flush token (flushed non-nil).
+type spillReq struct {
+	key     string
+	enc     func() ([]byte, error)
+	flushed chan struct{}
+}
+
+// PrepStore is the serving-facing durable tier: synchronous verified
+// reads (Fetch) plus asynchronous writes through one bounded background
+// writer goroutine. Payload encoding runs inside the writer too, so a
+// spill costs the request path one non-blocking channel send.
+//
+// The restore flow is split between the store and its caller because
+// only the caller can run the method-family decoder: Fetch returns a
+// verified payload, then the caller reports CountRestore on a
+// successful decode or CountError on a failed one (which also deletes
+// the poisoned blob, so it is rebuilt rather than re-failed forever).
+type PrepStore struct {
+	backend Backend
+
+	queue chan spillReq
+	wg    sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	restores atomic.Uint64
+	spills   atomic.Uint64
+	errs     atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// NewPrepStore wraps a backend and starts the background writer. Callers
+// own the store's lifecycle and must Close it to stop the writer.
+func NewPrepStore(backend Backend) *PrepStore {
+	s := &PrepStore{backend: backend, queue: make(chan spillReq, spillQueueCap)}
+	s.wg.Add(1)
+	go s.writer()
+	return s
+}
+
+// Backend returns the underlying blob backend.
+func (s *PrepStore) Backend() Backend { return s.backend }
+
+// Fetch returns the integrity-verified payload stored under key, or
+// false when the key is absent. A blob that exists but fails envelope
+// or hash verification counts one store error, is deleted so it cannot
+// fail again, and reports absent — the caller falls back to a fresh
+// Prepare.
+func (s *PrepStore) Fetch(key string) ([]byte, bool) {
+	blob, err := s.backend.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		return nil, false
+	}
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false
+	}
+	payload, err := DecodeBlob(key, blob)
+	if err != nil {
+		s.discard(key)
+		return nil, false
+	}
+	return payload, true
+}
+
+// CountRestore records one prepared system successfully rebuilt from a
+// fetched payload.
+func (s *PrepStore) CountRestore() { s.restores.Add(1) }
+
+// CountError records a payload that verified but failed the method
+// family's decode, deleting the blob so the next miss re-prepares and
+// re-spills instead of replaying the failure.
+func (s *PrepStore) CountError(key string) { s.discard(key) }
+
+// discard counts one error against key and best-effort deletes its blob.
+func (s *PrepStore) discard(key string) {
+	s.errs.Add(1)
+	if err := s.backend.Delete(key); err != nil && !errors.Is(err, ErrNotFound) {
+		s.errs.Add(1)
+	}
+}
+
+// Spill queues the prepared system under key for background persistence.
+// enc is invoked on the writer goroutine — never on the caller's — and
+// its payload is framed and written to the backend. A full queue drops
+// the request (counted in Dropped); a closed store drops it too.
+func (s *PrepStore) Spill(key string, enc func() ([]byte, error)) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.queue <- spillReq{key: key, enc: enc}:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Flush blocks until every spill queued before the call has been
+// written (or failed). A closed store flushes trivially.
+func (s *PrepStore) Flush() {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return
+	}
+	done := make(chan struct{})
+	// The blocking send is safe: the writer is draining this queue and
+	// the store cannot close while the read-lock is held.
+	s.queue <- spillReq{flushed: done}
+	s.closeMu.RUnlock()
+	<-done
+}
+
+// Close drains outstanding spills and stops the writer. Spill calls
+// racing or following Close are dropped (counted). Close is idempotent
+// and does not close the backend — the caller owns it.
+func (s *PrepStore) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+// Counters snapshots the store's activity counters.
+func (s *PrepStore) Counters() Counters {
+	return Counters{
+		Restores: s.restores.Load(),
+		Spills:   s.spills.Load(),
+		Errors:   s.errs.Load(),
+		Dropped:  s.dropped.Load(),
+	}
+}
+
+// Len reports the backend's blob count (diagnostics; -1 when the
+// backend cannot list).
+func (s *PrepStore) Len() int {
+	n, err := s.backend.Len()
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// writer is the single background goroutine: it encodes, frames, and
+// writes queued spills until Close. One writer serializes backend
+// writes, so spill volume can never amplify into unbounded concurrent
+// encoding.
+func (s *PrepStore) writer() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		if req.flushed != nil {
+			close(req.flushed)
+			continue
+		}
+		payload, err := req.enc()
+		if err != nil {
+			s.errs.Add(1)
+			continue
+		}
+		if err := s.backend.Put(req.key, EncodeBlob(req.key, payload)); err != nil {
+			s.errs.Add(1)
+			continue
+		}
+		s.spills.Add(1)
+	}
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// backends under test, each fresh per call.
+func testBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	dir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDir: %v", err)
+	}
+	return map[string]Backend{"memory": NewMemory(), "dir": dir}
+}
+
+func TestBackendRoundTrip(t *testing.T) {
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			key := "lap2d:abcd|asyrgs|p=f64"
+			if _, err := b.Get(key); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get on empty backend: %v, want ErrNotFound", err)
+			}
+			if err := b.Put(key, []byte("v1")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if err := b.Put(key, []byte("v2")); err != nil {
+				t.Fatalf("overwrite Put: %v", err)
+			}
+			got, err := b.Get(key)
+			if err != nil || string(got) != "v2" {
+				t.Fatalf("Get = %q, %v; want v2", got, err)
+			}
+			if n, err := b.Len(); err != nil || n != 1 {
+				t.Fatalf("Len = %d, %v; want 1", n, err)
+			}
+			if err := b.Delete(key); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if err := b.Delete(key); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("second Delete: %v, want ErrNotFound", err)
+			}
+			if n, _ := b.Len(); n != 0 {
+				t.Fatalf("Len after delete = %d, want 0", n)
+			}
+		})
+	}
+}
+
+// Two keys that share a sanitized prefix must land in distinct files:
+// the full-key hash in the file name is what addresses the blob.
+func TestDirKeysNeverCollide(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := strings.Repeat("x", 60) + "|one"
+	k2 := strings.Repeat("x", 60) + "|two"
+	if err := d.Put(k1, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(k2, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := d.Get(k1)
+	v2, _ := d.Get(k2)
+	if string(v1) != "1" || string(v2) != "2" {
+		t.Fatalf("collided: %q %q", v1, v2)
+	}
+}
+
+// A failed Put attempt must not leave temp litter the Len sweep counts.
+func TestDirLenIgnoresForeignFiles(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 (foreign files ignored)", n, err)
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	payload := []byte("prepared-system-payload")
+	blob := EncodeBlob("key-1", payload)
+	got, err := DecodeBlob("key-1", blob)
+	if err != nil {
+		t.Fatalf("DecodeBlob: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestBlobRejectsWrongKey(t *testing.T) {
+	blob := EncodeBlob("key-1", []byte("p"))
+	if _, err := DecodeBlob("key-2", blob); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong-key decode: %v, want ErrCorrupt", err)
+	}
+}
+
+// Every single-byte flip and every truncation must fail verification —
+// the property the serving layer's never-serve-wrong-state fallback
+// rests on.
+func TestBlobDetectsCorruption(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	blob := EncodeBlob("k", payload)
+	for i := range blob {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x01
+		if got, err := DecodeBlob("k", bad); err == nil {
+			t.Fatalf("flip at byte %d decoded to %q", i, got)
+		}
+	}
+	for n := 0; n < len(blob); n++ {
+		if got, err := DecodeBlob("k", blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded to %q", n, got)
+		}
+	}
+}
+
+// A hostile length prefix must be rejected before allocation, not OOM.
+func TestDecRejectsHugeLengths(t *testing.T) {
+	var e Enc
+	e.U64(1 << 60) // claims 2^60 float64s
+	d := NewDec(e.Bytes())
+	if v := d.F64s(); v != nil || d.Err() == nil {
+		t.Fatalf("F64s = %v, err = %v; want nil, ErrCorrupt", v, d.Err())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(7)
+	e.U32(1 << 30)
+	e.Int(42)
+	e.Str("hello")
+	e.F64s([]float64{1.5, -2.25, 0})
+	e.Ints([]int{3, 1, 4, 1, 5})
+	e.Bytes64([]byte{9, 9})
+
+	d := NewDec(e.Bytes())
+	if v := d.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := d.U32(); v != 1<<30 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := d.Int(); v != 42 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := d.Str(); v != "hello" {
+		t.Fatalf("Str = %q", v)
+	}
+	if v := d.F64s(); len(v) != 3 || v[1] != -2.25 {
+		t.Fatalf("F64s = %v", v)
+	}
+	if v := d.Ints(); len(v) != 5 || v[2] != 4 {
+		t.Fatalf("Ints = %v", v)
+	}
+	if v := d.Bytes64(); len(v) != 2 || v[0] != 9 {
+		t.Fatalf("Bytes64 = %v", v)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestPrepStoreSpillAndFetch(t *testing.T) {
+	s := NewPrepStore(NewMemory())
+	defer s.Close()
+	s.Spill("k", func() ([]byte, error) { return []byte("payload"), nil })
+	s.Flush()
+	payload, ok := s.Fetch("k")
+	if !ok || string(payload) != "payload" {
+		t.Fatalf("Fetch = %q, %v", payload, ok)
+	}
+	s.CountRestore()
+	c := s.Counters()
+	if c.Spills != 1 || c.Restores != 1 || c.Errors != 0 || c.Dropped != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestPrepStoreCorruptBlobIsErrorAndDeleted(t *testing.T) {
+	b := NewMemory()
+	s := NewPrepStore(b)
+	defer s.Close()
+	if err := b.Put("k", []byte("not an envelope")); err != nil {
+		t.Fatal(err)
+	}
+	if payload, ok := s.Fetch("k"); ok {
+		t.Fatalf("corrupt Fetch returned %q", payload)
+	}
+	if c := s.Counters(); c.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", c.Errors)
+	}
+	if _, err := b.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt blob not deleted: %v", err)
+	}
+	// The deleted blob cannot fail twice.
+	if _, ok := s.Fetch("k"); ok {
+		t.Fatal("second Fetch hit")
+	}
+	if c := s.Counters(); c.Errors != 1 {
+		t.Fatalf("errors after re-Fetch = %d, want 1", c.Errors)
+	}
+}
+
+func TestPrepStoreCountErrorDeletes(t *testing.T) {
+	b := NewMemory()
+	s := NewPrepStore(b)
+	defer s.Close()
+	if err := b.Put("k", EncodeBlob("k", []byte("verifies-but-wont-decode"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Fetch("k"); !ok {
+		t.Fatal("Fetch miss on valid envelope")
+	}
+	s.CountError("k")
+	if c := s.Counters(); c.Errors != 1 {
+		t.Fatalf("errors = %d", c.Errors)
+	}
+	if _, err := b.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("blob survived CountError: %v", err)
+	}
+}
+
+func TestPrepStoreEncodeFailureCounted(t *testing.T) {
+	s := NewPrepStore(NewMemory())
+	defer s.Close()
+	s.Spill("k", func() ([]byte, error) { return nil, errors.New("encode boom") })
+	s.Flush()
+	c := s.Counters()
+	if c.Errors != 1 || c.Spills != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestPrepStoreFullQueueDrops(t *testing.T) {
+	s := NewPrepStore(NewMemory())
+	gate := make(chan struct{})
+	// The first spill's encoder parks the writer, so later spills pile
+	// into the bounded queue and overflow must drop, not block.
+	s.Spill("blocker", func() ([]byte, error) { <-gate; return []byte("b"), nil })
+	for i := 0; i < spillQueueCap+8; i++ {
+		s.Spill("k", func() ([]byte, error) { return []byte("v"), nil })
+	}
+	c := s.Counters()
+	if c.Dropped == 0 {
+		t.Fatalf("no drops with overfull queue: %+v", c)
+	}
+	close(gate)
+	s.Close()
+}
+
+func TestPrepStoreSpillAfterCloseDropped(t *testing.T) {
+	s := NewPrepStore(NewMemory())
+	s.Close()
+	s.Close() // idempotent
+	s.Spill("k", func() ([]byte, error) { return []byte("v"), nil })
+	s.Flush() // trivial on a closed store
+	if c := s.Counters(); c.Dropped != 1 || c.Spills != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
