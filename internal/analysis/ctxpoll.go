@@ -21,6 +21,9 @@ var loopPackages = []string{
 	// path feeds; its loops must stay provably terminable or Close
 	// would hang the daemon's shutdown.
 	"internal/store",
+	// The fault layer sits inside store and distmem hot paths; any loop
+	// it grows must stay provably bounded for the same reasons.
+	"internal/fault",
 }
 
 // CtxPoll requires every `for { ... }` loop (nil condition) in the

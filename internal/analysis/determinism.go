@@ -22,6 +22,10 @@ var detPackages = []string{
 	// map-order dependency in its codec would break the bit-identical
 	// restore guarantee the persistence tests assert.
 	"internal/store",
+	// The fault injector is the chaos harness's source of truth: every
+	// decision must be a pure function of (seed, site, op-index) or the
+	// exact-accounting assertions stop reproducing across runs.
+	"internal/fault",
 }
 
 // Determinism rejects nondeterminism sources in the deterministic

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule pins the core property: the fault schedule
+// is a pure function of (config, site, op-index).
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, ErrRate: 0.2, DropRate: 0.1, CorruptRate: 0.05, LatencyRate: 0.3, Latency: time.Millisecond}
+	a := New(cfg, "store.get")
+	b := New(cfg, "store.get")
+	for i := uint64(0); i < 4096; i++ {
+		if a.DecideAt(i) != b.DecideAt(i) {
+			t.Fatalf("schedule diverged at op %d", i)
+		}
+	}
+}
+
+// TestSitesIndependent verifies two sites under one seed draw distinct
+// schedules (folding the site label into the stream key works).
+func TestSitesIndependent(t *testing.T) {
+	cfg := Config{Seed: 7, ErrRate: 0.5}
+	g := New(cfg, "store.get")
+	p := New(cfg, "store.put")
+	same := 0
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		if g.DecideAt(i).Err == p.DecideAt(i).Err {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("sites store.get and store.put share an identical %d-op schedule", n)
+	}
+}
+
+// TestRatesConverge checks the injected rates land near their targets
+// over a long schedule — the decisions are real Bernoulli draws, not a
+// fixed stride.
+func TestRatesConverge(t *testing.T) {
+	cfg := Config{Seed: 3, ErrRate: 0.2, DropRate: 0.1}
+	in := New(cfg, "rates")
+	const n = 100000
+	var errs, drops int
+	for i := uint64(0); i < n; i++ {
+		d := in.DecideAt(i)
+		if d.Err {
+			errs++
+		}
+		if d.Drop {
+			drops++
+		}
+	}
+	if got := float64(errs) / n; got < 0.18 || got > 0.22 {
+		t.Errorf("err rate %.4f, want ~0.20", got)
+	}
+	if got := float64(drops) / n; got < 0.08 || got > 0.12 {
+		t.Errorf("drop rate %.4f, want ~0.10", got)
+	}
+}
+
+// TestNilInjector pins the nil-receiver contract: a disabled site needs
+// no guards anywhere.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if d := in.Next(); !d.Clean() {
+		t.Fatalf("nil injector decided %+v", d)
+	}
+	in.SleepFor(Decision{Delay: true}) // must not panic or sleep
+	in.RecordErr()
+	in.RecordDrop()
+	in.RecordCorrupt()
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector stats %+v", s)
+	}
+	if New(Config{}, "off") != nil {
+		t.Fatal("New with a zero config must return the nil injector")
+	}
+}
+
+// TestSleeperInjected verifies injected latency flows through the
+// configured sleeper (and never a real sleep in this test).
+func TestSleeperInjected(t *testing.T) {
+	var slept []time.Duration
+	cfg := Config{
+		Seed: 1, LatencyRate: 1, Latency: 250 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	in := New(cfg, "sleepy")
+	d := in.Next()
+	if !d.Delay {
+		t.Fatal("LatencyRate=1 decision carries no delay")
+	}
+	in.SleepFor(d)
+	in.SleepFor(Decision{}) // no delay: sleeper must not fire
+	if len(slept) != 1 || slept[0] != 250*time.Millisecond {
+		t.Fatalf("sleeper calls %v, want one 250ms call", slept)
+	}
+	if got := in.Stats().Delays; got != 1 {
+		t.Fatalf("Delays = %d, want 1", got)
+	}
+}
+
+// TestAuxPopulated checks faulted decisions carry auxiliary randomness
+// and clean ones do not burn a draw.
+func TestAuxPopulated(t *testing.T) {
+	in := New(Config{Seed: 9, CorruptRate: 1}, "aux")
+	d0, d1 := in.DecideAt(0), in.DecideAt(1)
+	if !d0.Corrupt || !d1.Corrupt {
+		t.Fatal("CorruptRate=1 decisions not corrupt")
+	}
+	if d0.Aux == d1.Aux {
+		t.Fatal("aux randomness identical across ops")
+	}
+}
+
+// TestNextSequences verifies Next advances the shared counter and the
+// ops stat tracks it.
+func TestNextSequences(t *testing.T) {
+	in := New(Config{Seed: 5, ErrRate: 0.5}, "seq")
+	want := make([]Decision, 10)
+	for i := range want {
+		want[i] = in.DecideAt(uint64(i))
+	}
+	for i := range want {
+		if got := in.Next(); got != want[i] {
+			t.Fatalf("Next()[%d] = %+v, want %+v", i, got, want[i])
+		}
+	}
+	if got := in.Stats().Ops; got != 10 {
+		t.Fatalf("Ops = %d, want 10", got)
+	}
+}

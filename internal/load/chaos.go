@@ -1,0 +1,349 @@
+package load
+
+// The chaos harness is the end-to-end proof of the resilience layer: it
+// self-hosts a daemon whose durable prep store sits on a FaultBackend,
+// soaks it with store-churn traffic under injected errors and latency,
+// takes the backend fully down to trip the circuit breaker, recovers
+// it, and finishes with a distributed-memory solve under injected
+// message loss. Check reconciles every counter exactly — requests are
+// never lost, every injected error is either retried away or ends one
+// failed operation, the breaker trips and closes again, and the async
+// iteration converges despite the drops.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/dense"
+	"github.com/asynclinalg/asyrgs/internal/distmem"
+	"github.com/asynclinalg/asyrgs/internal/fault"
+	"github.com/asynclinalg/asyrgs/internal/serve"
+	"github.com/asynclinalg/asyrgs/internal/store"
+	"github.com/asynclinalg/asyrgs/internal/vec"
+	"github.com/asynclinalg/asyrgs/internal/workload"
+)
+
+// ChaosOptions configure the fault regime. The zero value runs the
+// full default chaos mix.
+type ChaosOptions struct {
+	// StoreErrRate is the injected transient-error rate on store Get/Put
+	// operations; zero means 0.2. Negative disables store errors.
+	StoreErrRate float64
+	// StoreLatency is the injected store-operation latency, applied to a
+	// quarter of operations; zero means 200µs. Negative disables.
+	StoreLatency time.Duration
+	// DropRate is the distmem update-message loss rate; zero means 0.1.
+	// Negative disables the distmem phase's faults.
+	DropRate float64
+	// Seed keys every injector and request stream.
+	Seed uint64
+	// Clients is the closed-loop client count; zero means 4.
+	Clients int
+	// Requests is the soak phase's request budget; zero means 160. The
+	// outage and recovery phases issue a fixed fraction of it.
+	Requests int
+	// N is the base problem dimension; zero means 64.
+	N int
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.StoreErrRate == 0 {
+		o.StoreErrRate = 0.2
+	} else if o.StoreErrRate < 0 {
+		o.StoreErrRate = 0
+	}
+	if o.StoreLatency == 0 {
+		o.StoreLatency = 200 * time.Microsecond
+	} else if o.StoreLatency < 0 {
+		o.StoreLatency = 0
+	}
+	if o.DropRate == 0 {
+		o.DropRate = 0.1
+	} else if o.DropRate < 0 {
+		o.DropRate = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Requests <= 0 {
+		o.Requests = 160
+	}
+	if o.N <= 0 {
+		o.N = 64
+	}
+	return o
+}
+
+// ChaosDistmem is the distributed-memory phase's outcome: an async
+// solve under deterministic message loss, checked against the dense
+// solution.
+type ChaosDistmem struct {
+	Converged        bool    `json:"converged"`
+	Rounds           int     `json:"rounds"`
+	Residual         float64 `json:"residual"`
+	RelErr           float64 `json:"rel_err"`
+	MessagesSent     uint64  `json:"messages_sent"`
+	MessagesDropped  uint64  `json:"messages_dropped"`
+	MessagesDelayed  uint64  `json:"messages_delayed"`
+	ObservedDropRate float64 `json:"observed_drop_rate"`
+	TargetDropRate   float64 `json:"target_drop_rate"`
+	Err              string  `json:"error,omitempty"`
+}
+
+// ChaosReport is the full chaos run: per-phase load reports plus the
+// reconciled store/injector counters and the distmem phase.
+type ChaosReport struct {
+	Opts ChaosOptions `json:"options"`
+
+	// Soak is the fault soak: store-churn traffic with injected store
+	// errors and latency. Outage repeats it with the backend fully down;
+	// Recovery repeats it after the backend returns and the breaker has
+	// closed again.
+	Soak     Report `json:"soak"`
+	Outage   Report `json:"outage"`
+	Recovery Report `json:"recovery"`
+
+	// Store is the prep store's own accounting; StoreGets/StorePuts are
+	// the injector's applied-fault counters per path, and DownDenied the
+	// operations refused by the simulated total outage.
+	Store        store.Counters `json:"store"`
+	StoreGets    fault.Stats    `json:"store_get_faults"`
+	StorePuts    fault.Stats    `json:"store_put_faults"`
+	DownDenied   uint64         `json:"store_down_denied"`
+	BreakerState string         `json:"breaker_state"`
+
+	Distmem ChaosDistmem `json:"distmem"`
+}
+
+// RunChaos executes the chaos scenario end to end. Request failures and
+// fault-accounting mismatches land in the report for Check; the
+// returned error covers only an unusable run (context cancelled, setup
+// failure).
+func RunChaos(ctx context.Context, opts ChaosOptions) (ChaosReport, error) {
+	opts = opts.withDefaults()
+	rep := ChaosReport{Opts: opts}
+
+	latencyRate := 0.0
+	if opts.StoreLatency > 0 {
+		latencyRate = 0.25
+	}
+	fb := store.NewFaultBackend(store.NewMemory(), fault.Config{
+		Seed:        opts.Seed,
+		ErrRate:     opts.StoreErrRate,
+		LatencyRate: latencyRate,
+		Latency:     opts.StoreLatency,
+	})
+	ps := store.NewPrepStoreWith(fb, store.Options{
+		Retry: store.RetryConfig{
+			Max: 4, Base: 100 * time.Microsecond, Cap: time.Millisecond, Seed: opts.Seed,
+		},
+		Breaker: store.BreakerConfig{
+			Failures: 4, Probe: 10 * time.Millisecond, Clock: serve.MonotonicClock(),
+		},
+	})
+	defer ps.Close()
+
+	// An undersized prep LRU keeps the store-churn scenario's working set
+	// spilling and restoring on nearly every request — the store is on
+	// the hot path, where the injected faults can actually bite.
+	target := NewInProcessTarget(serve.Config{
+		PrepStore:     ps,
+		PrepCacheSize: 2,
+		MaxConcurrent: opts.Clients,
+	})
+	defer target.Close()
+
+	phase := func(budget int) (Report, error) {
+		return Run(ctx, target, Options{
+			Scenario:    "store-churn",
+			Clients:     opts.Clients,
+			MaxRequests: budget,
+			Duration:    time.Minute,
+			Seed:        opts.Seed,
+			N:           opts.N,
+		})
+	}
+
+	var err error
+	if rep.Soak, err = phase(opts.Requests); err != nil {
+		return rep, err
+	}
+
+	// Total outage: every store operation fails instantly. The server
+	// must keep answering (restores fall back to fresh Prepares) while
+	// consecutive failures trip the breaker.
+	fb.SetDown(true)
+	if rep.Outage, err = phase(max(opts.Requests/4, 4*opts.Clients)); err != nil {
+		return rep, err
+	}
+
+	// Recovery: the backend returns, and direct probe fetches walk the
+	// breaker open → half-open → closed. A clean miss counts as breaker
+	// success, so one admitted probe closes it.
+	fb.SetDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for ps.BreakerState() != "closed" && time.Now().Before(deadline) {
+		ps.Fetch("chaos/breaker-probe")
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rep.Recovery, err = phase(max(opts.Requests/4, 4*opts.Clients)); err != nil {
+		return rep, err
+	}
+
+	ps.Flush()
+	rep.Store = ps.Counters()
+	rep.StoreGets = fb.GetStats()
+	rep.StorePuts = fb.PutStats()
+	rep.DownDenied = fb.DownDenied()
+	rep.BreakerState = ps.BreakerState()
+
+	rep.Distmem = runChaosDistmem(opts)
+	return rep, ctx.Err()
+}
+
+// runChaosDistmem solves one SPD system with the sharded async backend
+// under injected message loss and checks the answer against the dense
+// solution.
+func runChaosDistmem(opts ChaosOptions) ChaosDistmem {
+	const n = 200
+	a := workload.RandomSPD(n, 5, 1.5, opts.Seed+17)
+	b := workload.RandomRHS(n, opts.Seed+18)
+	want, err := dense.SolveCSR(a, b)
+	if err != nil {
+		return ChaosDistmem{Err: err.Error(), TargetDropRate: opts.DropRate}
+	}
+	x := make([]float64, n)
+	res, rounds, err := distmem.SolveToTol(a, x, b, 1e-8, 10, 200, distmem.Config{
+		Workers: 4, QueueCap: 8, Seed: opts.Seed + 19,
+		Fault: fault.Config{Seed: opts.Seed + 20, DropRate: opts.DropRate},
+	})
+	d := ChaosDistmem{
+		Converged:       err == nil,
+		Rounds:          rounds,
+		Residual:        res.Residual,
+		RelErr:          vec.RelErr(x, want),
+		MessagesSent:    res.MessagesSent,
+		MessagesDropped: res.MessagesDropped,
+		MessagesDelayed: res.MessagesDelayed,
+		TargetDropRate:  opts.DropRate,
+	}
+	if err != nil {
+		d.Err = err.Error()
+	}
+	if total := d.MessagesSent + d.MessagesDropped; total > 0 {
+		d.ObservedDropRate = float64(d.MessagesDropped) / float64(total)
+	}
+	return d
+}
+
+// Check asserts the chaos run's invariants, joining every violation
+// into one error. A nil return means the resilience layer held: no
+// request was lost in any phase, the fault accounting reconciles
+// exactly, the breaker tripped under the outage and closed again, and
+// the async iteration converged despite the message loss.
+func (r ChaosReport) Check() error {
+	var errs []error
+	for _, ph := range []struct {
+		name string
+		rep  Report
+	}{{"soak", r.Soak}, {"outage", r.Outage}, {"recovery", r.Recovery}} {
+		if ph.rep.Requests == 0 {
+			errs = append(errs, fmt.Errorf("%s phase issued no requests", ph.name))
+			continue
+		}
+		if ph.rep.OK != ph.rep.Requests || ph.rep.Errors != 0 || ph.rep.Rejected != 0 {
+			errs = append(errs, fmt.Errorf(
+				"%s phase lost requests: %d issued, %d ok, %d errors, %d rejected",
+				ph.name, ph.rep.Requests, ph.rep.OK, ph.rep.Errors, ph.rep.Rejected))
+		}
+		if ph.rep.Converged != ph.rep.OK {
+			errs = append(errs, fmt.Errorf("%s phase: %d of %d answers did not converge",
+				ph.name, ph.rep.OK-ph.rep.Converged, ph.rep.OK))
+		}
+	}
+
+	// Every backend error — injected or outage-denied — is either
+	// retried away or ends exactly one failed operation. Breaker-shed
+	// operations never touch the backend and appear in neither side.
+	injected := r.StoreGets.Errs + r.StorePuts.Errs + r.DownDenied
+	if got := r.Store.Retries + r.Store.Failures; got != injected {
+		errs = append(errs, fmt.Errorf(
+			"store accounting mismatch: retries+failures = %d, injected+denied errors = %d",
+			got, injected))
+	}
+	if r.Store.CorruptBlobs != r.StoreGets.Corrupts+r.StorePuts.Corrupts {
+		errs = append(errs, fmt.Errorf("corrupt blobs %d != injected corruptions %d",
+			r.Store.CorruptBlobs, r.StoreGets.Corrupts+r.StorePuts.Corrupts))
+	}
+	if r.Opts.StoreErrRate > 0 && r.Store.Retries == 0 {
+		errs = append(errs, errors.New("store error injection exercised no retries"))
+	}
+	if r.Store.Spills == 0 || r.Store.Restores == 0 {
+		errs = append(errs, fmt.Errorf(
+			"store-churn did not exercise the store: %d spills, %d restores",
+			r.Store.Spills, r.Store.Restores))
+	}
+	if r.Store.BreakerTrips == 0 {
+		errs = append(errs, errors.New("total outage never tripped the circuit breaker"))
+	}
+	if r.BreakerState != "closed" {
+		errs = append(errs, fmt.Errorf("breaker did not recover: final state %q", r.BreakerState))
+	}
+
+	d := r.Distmem
+	if !d.Converged {
+		errs = append(errs, fmt.Errorf("distmem did not converge under %.0f%% message loss: %s",
+			100*d.TargetDropRate, d.Err))
+	}
+	if d.RelErr > 1e-6 {
+		errs = append(errs, fmt.Errorf("distmem solution error %.3g vs dense", d.RelErr))
+	}
+	if d.TargetDropRate > 0 {
+		if d.MessagesDropped == 0 {
+			errs = append(errs, errors.New("distmem drop injection dropped nothing"))
+		} else if d.ObservedDropRate < 0.5*d.TargetDropRate || d.ObservedDropRate > 1.5*d.TargetDropRate {
+			errs = append(errs, fmt.Errorf("distmem observed drop rate %.4f, want ~%.2f",
+				d.ObservedDropRate, d.TargetDropRate))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WriteJSON writes the chaos report as an indented JSON artifact.
+func (r ChaosReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the human-facing chaos summary.
+func (r ChaosReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "chaos: store err %.0f%% lat %v, distmem drop %.0f%%, seed %d\n",
+		100*r.Opts.StoreErrRate, r.Opts.StoreLatency, 100*r.Opts.DropRate, r.Opts.Seed)
+	for _, ph := range []struct {
+		name string
+		rep  Report
+	}{{"soak", r.Soak}, {"outage", r.Outage}, {"recovery", r.Recovery}} {
+		fmt.Fprintf(&b, "  %-9s %d requests, %d ok, %d errors, %d rejected (%.1f req/s)\n",
+			ph.name, ph.rep.Requests, ph.rep.OK, ph.rep.Errors, ph.rep.Rejected, ph.rep.ThroughputRPS)
+	}
+	fmt.Fprintf(&b, "  store     spills %d  restores %d  retries %d  failures %d  injected errs %d  denied %d\n",
+		r.Store.Spills, r.Store.Restores, r.Store.Retries, r.Store.Failures,
+		r.StoreGets.Errs+r.StorePuts.Errs, r.DownDenied)
+	fmt.Fprintf(&b, "  breaker   trips %d  rejects %d  final state %s\n",
+		r.Store.BreakerTrips, r.Store.BreakerRejects, r.BreakerState)
+	d := r.Distmem
+	fmt.Fprintf(&b, "  distmem   converged=%v in %d rounds  relerr %.2g  dropped %d/%d (%.1f%%, target %.0f%%)\n",
+		d.Converged, d.Rounds, d.RelErr, d.MessagesDropped, d.MessagesSent+d.MessagesDropped,
+		100*d.ObservedDropRate, 100*d.TargetDropRate)
+	return b.String()
+}

@@ -47,16 +47,27 @@ func summarize(snap stats.Pow2Histogram, sumUS uint64) LatencySummary {
 // endpoints are the histogram-tracked routes, fixed at construction so
 // request handling needs no map writes (the histograms themselves are
 // lock-free).
-var endpoints = []string{"/solve", "/methods", "/healthz", "/stats", "/metrics"}
+var endpoints = []string{"/solve", "/methods", "/healthz", "/readyz", "/stats", "/metrics"}
 
 // timed wraps a handler, recording its wall time in microseconds into
-// the endpoint's latency histogram.
+// the endpoint's latency histogram. It is also the outermost panic
+// backstop: the solve and cache paths contain their own panics, so
+// anything reaching here is a handler-level fault — counted, answered
+// 500 when the response has not started, and never fatal to the daemon.
 func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.endpointLat[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.errs.Add(1)
+				writeJSON(w, http.StatusInternalServerError,
+					map[string]string{"error": fmt.Sprintf("internal panic: %v", rec)})
+			}
+			hist.Observe(uint64(time.Since(start).Microseconds()))
+		}()
 		h(w, r)
-		hist.Observe(uint64(time.Since(start).Microseconds()))
 	}
 }
 
@@ -75,6 +86,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("asyrgsd_solved_total", "Solve requests answered with a well-formed result.", st.Solved)
 	counter("asyrgsd_errors_total", "Requests failed with a client or solve error.", st.Errors)
 	counter("asyrgsd_rejected_total", "Requests shed at the admission gate.", st.Rejected)
+	counter("asyrgsd_panics_total", "Worker panics contained by the serving layer.", st.Panics)
 	counter("asyrgsd_batches_total", "Solve batches executed behind the admission gate.", st.Batches)
 	counter("asyrgsd_coalesced_requests_total", "Requests that shared a batch with at least one other.", st.CoalescedRequests)
 
@@ -98,7 +110,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("asyrgsd_prep_spills_total", "Prepared systems written to the durable prep store.", ss.Spills)
 		counter("asyrgsd_store_errors_total", "Durable prep-store read, decode or write failures.", ss.Errors)
 		counter("asyrgsd_spill_drops_total", "Spills dropped because the store's write queue was full.", ss.Dropped)
+		counter("asyrgsd_store_retries_total", "Backend operations re-attempted after a transient failure.", ss.Retries)
+		counter("asyrgsd_store_failures_total", "Backend operations that exhausted their retry budget.", ss.Failures)
+		counter("asyrgsd_store_breaker_rejects_total", "Operations refused while the circuit breaker was open.", ss.BreakerRejects)
+		counter("asyrgsd_store_breaker_trips_total", "Circuit breaker closed-to-open transitions.", ss.BreakerTrips)
+		counter("asyrgsd_store_corrupt_blobs_total", "Blobs that failed envelope or hash verification on read.", ss.CorruptBlobs)
 		fmt.Fprintf(&b, "# HELP asyrgsd_prep_store_blobs Blobs currently held by the durable prep store.\n# TYPE asyrgsd_prep_store_blobs gauge\nasyrgsd_prep_store_blobs %d\n", ss.Blobs)
+		fmt.Fprintf(&b, "# HELP asyrgsd_store_breaker_state Circuit breaker state (one-hot by state label).\n# TYPE asyrgsd_store_breaker_state gauge\n")
+		for _, state := range []string{"closed", "open", "half-open", "disabled"} {
+			v := 0
+			if ss.BreakerState == state {
+				v = 1
+			}
+			fmt.Fprintf(&b, "asyrgsd_store_breaker_state{state=%q} %d\n", state, v)
+		}
 	}
 
 	fmt.Fprintf(&b, "# HELP asyrgsd_method_requests_total Solved requests by registry method.\n# TYPE asyrgsd_method_requests_total counter\n")

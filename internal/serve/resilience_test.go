@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/fault"
+	"github.com/asynclinalg/asyrgs/internal/method"
+	"github.com/asynclinalg/asyrgs/internal/sparse"
+	"github.com/asynclinalg/asyrgs/internal/store"
+)
+
+// panicSolveMethod panics inside Solve — on the batch path, behind the
+// admission gate.
+type panicSolveMethod struct{}
+
+func (panicSolveMethod) Name() string      { return "panic-solve" }
+func (panicSolveMethod) Kind() method.Kind { return method.SPD }
+func (panicSolveMethod) Solve(context.Context, *sparse.CSR, []float64, []float64, method.Opts) (method.Result, error) {
+	panic("injected solver panic")
+}
+
+// panicPrepMethod panics inside Prepare — inside the prep cache's
+// once-latched build closure, the poisoning hazard.
+type panicPrepMethod struct{}
+
+func (panicPrepMethod) Name() string      { return "panic-prepare" }
+func (panicPrepMethod) Kind() method.Kind { return method.SPD }
+func (panicPrepMethod) Solve(context.Context, *sparse.CSR, []float64, []float64, method.Opts) (method.Result, error) {
+	panic("unreachable: prepare panics first")
+}
+func (panicPrepMethod) Prepare(context.Context, *sparse.CSR, method.Opts) (method.PreparedSystem, error) {
+	panic("injected prepare panic")
+}
+
+var registerPanicMethodsOnce sync.Once
+
+func registerPanicMethods() {
+	registerPanicMethodsOnce.Do(func() {
+		method.Register(panicSolveMethod{})
+		method.Register(panicPrepMethod{})
+	})
+}
+
+// TestPanicInSolveContained: a panicking solver answers 500, counts in
+// panics, and leaves the daemon fully serviceable — including the
+// admission slot the panicking batch held.
+func TestPanicInSolveContained(t *testing.T) {
+	registerPanicMethods()
+	ts := newTestServer(t, Config{MaxConcurrent: 1})
+
+	spec := MatrixSpec{Kind: "laplacian2d", N: 4}
+	_, resp := postSolve(t, ts, SolveRequest{Matrix: spec, Method: "panic-solve", Tol: 1e-6})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking solve: status %d, want 500", resp.StatusCode)
+	}
+
+	// The daemon survived and the single admission slot was released:
+	// a normal solve on the same matrix must succeed.
+	out, resp := postSolve(t, ts, SolveRequest{Matrix: spec, Method: "cg", Tol: 1e-8})
+	if resp.StatusCode != http.StatusOK || !out.Converged {
+		t.Fatalf("post-panic solve: status %d, %+v", resp.StatusCode, out)
+	}
+	var st Stats
+	getJSON(t, ts, "/stats", &st)
+	if st.Panics != 1 {
+		t.Fatalf("stats.Panics = %d, want 1", st.Panics)
+	}
+}
+
+// TestPanicInPrepareContained: a panic inside the once-latched prep
+// build must resolve the cache entry with an error (500), not wedge the
+// key — a second request re-runs the build instead of hanging forever.
+func TestPanicInPrepareContained(t *testing.T) {
+	registerPanicMethods()
+	ts := newTestServer(t, Config{})
+
+	spec := MatrixSpec{Kind: "laplacian2d", N: 4}
+	for i := 1; i <= 2; i++ {
+		_, resp := postSolve(t, ts, SolveRequest{Matrix: spec, Method: "panic-prepare", Tol: 1e-6})
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d, want 500", i, resp.StatusCode)
+		}
+	}
+	var st Stats
+	getJSON(t, ts, "/stats", &st)
+	if st.Panics != 2 {
+		t.Fatalf("stats.Panics = %d, want 2 (one per rebuilt entry)", st.Panics)
+	}
+	// And the matrix itself is fine for healthy methods.
+	out, resp := postSolve(t, ts, SolveRequest{Matrix: spec, Method: "cg", Tol: 1e-8})
+	if resp.StatusCode != http.StatusOK || !out.Converged {
+		t.Fatalf("healthy solve after prepare panics: status %d, %+v", resp.StatusCode, out)
+	}
+}
+
+// getReadyz fetches /readyz without the 200-only helper.
+func getReadyz(t *testing.T, ts *httptest.Server) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestReadyzNoStore: without a prep store there is no degraded mode.
+func TestReadyzNoStore(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := getReadyz(t, ts)
+	if code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz = %d %v, want 200 ready", code, body)
+	}
+}
+
+// TestReadyzTracksBreaker drives the full degradation cycle: ready →
+// breaker trips on a dead backend → degraded (503, distinct from the
+// still-green /healthz) → backend recovers, probe closes the breaker →
+// ready again.
+func TestReadyzTracksBreaker(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Duration(0)
+	clock := func() time.Duration { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now += d; mu.Unlock() }
+
+	fb := store.NewFaultBackend(store.NewMemory(), fault.Config{})
+	ps := store.NewPrepStoreWith(fb, store.Options{
+		Breaker: store.BreakerConfig{Failures: 1, Probe: time.Second, Clock: clock},
+	})
+	defer ps.Close()
+	ts := newTestServer(t, Config{PrepStore: ps})
+
+	if code, _ := getReadyz(t, ts); code != http.StatusOK {
+		t.Fatalf("fresh server readyz = %d, want 200", code)
+	}
+
+	fb.SetDown(true)
+	ps.Fetch("k") // one failure trips the Failures=1 breaker
+	code, body := getReadyz(t, ts)
+	if code != http.StatusServiceUnavailable || body["status"] != "degraded" {
+		t.Fatalf("readyz with open breaker = %d %v, want 503 degraded", code, body)
+	}
+	// Liveness is unchanged: degraded is not dead.
+	var health map[string]string
+	getJSON(t, ts, "/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz during degradation: %v", health)
+	}
+	var st Stats
+	getJSON(t, ts, "/stats", &st)
+	if st.PrepStore == nil || st.PrepStore.BreakerState != "open" {
+		t.Fatalf("stats breaker state = %+v, want open", st.PrepStore)
+	}
+
+	fb.SetDown(false)
+	advance(2 * time.Second)
+	ps.Fetch("k") // the probe: a clean miss closes the breaker
+	if code, body := getReadyz(t, ts); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz after recovery = %d %v, want 200 ready", code, body)
+	}
+}

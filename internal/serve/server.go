@@ -31,6 +31,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -407,10 +408,13 @@ type SolveResponse struct {
 
 // Stats is the GET /stats reply.
 type Stats struct {
-	Requests  uint64  `json:"requests"`
-	Solved    uint64  `json:"solved"`
-	Errors    uint64  `json:"errors"`
-	Rejected  uint64  `json:"rejected"`
+	Requests uint64 `json:"requests"`
+	Solved   uint64 `json:"solved"`
+	Errors   uint64 `json:"errors"`
+	Rejected uint64 `json:"rejected"`
+	// Panics counts worker panics contained by the serving layer (each
+	// one answered 500 instead of killing the daemon).
+	Panics    uint64  `json:"panics"`
 	InFlight  int64   `json:"in_flight"`
 	UptimeSec float64 `json:"uptime_sec"`
 	// Cache counts the built-matrix LRU; PrepCache the prepared-system
@@ -460,14 +464,25 @@ type CacheStats struct {
 }
 
 // PrepStoreStats reports the durable prep store's traffic: restore,
-// spill and error counters plus the number of blobs currently held.
+// spill, error, retry and breaker counters plus the number of blobs
+// currently held and the circuit breaker's current state.
 type PrepStoreStats struct {
 	store.Counters
 	Blobs int `json:"blobs"`
+	// BreakerState is "closed", "open", "half-open", or "disabled" when
+	// the store runs without a breaker. /readyz reports degraded while
+	// it is "open".
+	BreakerState string `json:"breaker_state"`
 }
 
 // errAtCapacity marks work shed at the admission gate.
 var errAtCapacity = errors.New("serve: at capacity")
+
+// errPanic marks a request whose build, prepare or solve panicked. The
+// panic is contained (recovered, counted in panics_total) and converted
+// into this error so the request fails with HTTP 500 while the daemon
+// and every other in-flight request keep running.
+var errPanic = errors.New("serve: worker panic")
 
 // acquireGateCtx claims an admission slot, waiting at most QueueTimeout
 // and aborting when parent ends. It returns nil on success (the caller
@@ -609,10 +624,15 @@ type Server struct {
 	// coal is the adaptive size-or-deadline coalescer (batcher.go).
 	coal *coalescer
 
+	// retryAfter is the precomputed Retry-After header value for 503
+	// responses, derived from the queue timeout at construction.
+	retryAfter string
+
 	requests  atomic.Uint64
 	solved    atomic.Uint64
 	errs      atomic.Uint64
 	rejected  atomic.Uint64
+	panics    atomic.Uint64
 	inFlight  atomic.Int64
 	batches   atomic.Uint64
 	coalesced atomic.Uint64
@@ -657,6 +677,12 @@ func New(cfg Config) *Server {
 		stageLat:    map[string]*stats.AtomicPow2Histogram{},
 		bandLat:     map[string]*stats.AtomicPow2Histogram{},
 	}
+	// Retry-After must be a positive integer of seconds; round the queue
+	// timeout up so sub-second timeouts still hint a 1s backoff.
+	s.retryAfter = strconv.Itoa(int(math.Ceil(cfg.QueueTimeout.Seconds())))
+	if s.retryAfter == "0" {
+		s.retryAfter = "1"
+	}
 	if s.prepStore != nil {
 		// Evicted prepared systems spill before leaving memory, so LRU
 		// pressure demotes state to the store instead of destroying it.
@@ -679,6 +705,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /solve", s.timed("/solve", s.handleSolve))
 	s.mux.HandleFunc("GET /methods", s.timed("/methods", s.handleMethods))
 	s.mux.HandleFunc("GET /healthz", s.timed("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.timed("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /stats", s.timed("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.timed("/metrics", s.handleMetrics))
 	return s
@@ -686,6 +713,15 @@ func New(cfg Config) *Server {
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// MonotonicClock returns a store.Clock backed by the process monotonic
+// clock. It lives here rather than in the store because the solver-tier
+// packages (store included) may not read the wall clock themselves —
+// the serving layer is where real time is allowed to enter.
+func MonotonicClock() store.Clock {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -699,14 +735,36 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 }
 
 // reject sheds a request at the admission gate: counted as rejected, not
-// as an error, so the errors counter keeps its alerting signal.
+// as an error, so the errors counter keeps its alerting signal. The 503
+// carries a Retry-After derived from the queue timeout — the server's
+// own shedding horizon is the honest backoff hint.
 func (s *Server) reject(w http.ResponseWriter, format string, args ...any) {
 	s.rejected.Add(1)
+	w.Header().Set("Retry-After", s.retryAfter)
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe, distinct from liveness: the
+// daemon is alive whenever /healthz answers, but reports degraded here
+// while the prep store's circuit breaker is open (the durable tier is
+// being shed and every prep-cache miss pays a fresh Prepare). Degraded
+// is 503 so orchestrators can steer traffic away without restarting a
+// healthy process.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.prepStore != nil {
+		if state := s.prepStore.BreakerState(); state == "open" {
+			w.Header().Set("Retry-After", s.retryAfter)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "degraded", "reason": "prep-store circuit breaker open",
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
@@ -739,13 +797,18 @@ func (s *Server) counterSnapshot() Stats {
 	s.methodMu.Unlock()
 	var storeStats *PrepStoreStats
 	if s.prepStore != nil {
-		storeStats = &PrepStoreStats{Counters: s.prepStore.Counters(), Blobs: s.prepStore.Len()}
+		storeStats = &PrepStoreStats{
+			Counters:     s.prepStore.Counters(),
+			Blobs:        s.prepStore.Len(),
+			BreakerState: s.prepStore.BreakerState(),
+		}
 	}
 	return Stats{
 		Requests:          s.requests.Load(),
 		Solved:            s.solved.Load(),
 		Errors:            s.errs.Load(),
 		Rejected:          s.rejected.Load(),
+		Panics:            s.panics.Load(),
 		InFlight:          s.inFlight.Load(),
 		UptimeSec:         time.Since(s.start).Seconds(),
 		Cache:             s.matrixCache.stats(s.cfg.CacheSize),
@@ -793,6 +856,19 @@ func (s *Server) runBatch(ps method.PreparedSystem, opts method.Opts, items []*s
 			// Completion token instead of close so the channel survives
 			// pooling; each item sees exactly one send per batch.
 			it.done <- struct{}{}
+		}
+	}()
+	// Contain solver panics: every item (the leader's and each coalesced
+	// follower's) gets errPanic and its completion token still arrives —
+	// registered after the token defer, so it runs first and the tokens
+	// carry the error. The gate-release and in-flight defers below also
+	// still run, so a panicking method cannot leak an admission slot.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			for _, it := range items {
+				it.err = fmt.Errorf("%w: %v", errPanic, rec)
+			}
 		}
 	}()
 
@@ -972,7 +1048,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// the gate entirely).
 	key := req.Matrix.key()
 	buildStart := time.Now()
-	a, hit, err := s.matrixCache.getOrBuild(key, func() (*sparse.CSR, error) {
+	a, hit, err := s.matrixCache.getOrBuild(key, func() (a *sparse.CSR, err error) {
+		// Recover inside the build closure: a panic here would consume
+		// the cache entry's once-latch without resolving it, wedging the
+		// key for every future request. Converted to an error, the entry
+		// resolves as a failed build and is dropped normally.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				err = fmt.Errorf("%w: %v", errPanic, rec)
+			}
+		}()
 		if !s.acquireGate() {
 			return nil, errAtCapacity
 		}
@@ -983,6 +1069,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, errAtCapacity):
 		s.reject(w, "server at capacity (%d batches in flight); retry later", s.cfg.MaxConcurrent)
+		return
+	case errors.Is(err, errPanic):
+		s.fail(w, http.StatusInternalServerError, "building matrix: %v", err)
 		return
 	case err != nil:
 		s.fail(w, http.StatusBadRequest, "building matrix: %v", err)
@@ -1009,7 +1098,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// read only after getOrBuild returns; the cache's once-latch orders
 	// the write before every return, whichever goroutine ran the build.
 	var prepRestored bool
-	ps, prepHit, err := s.prepCache.getOrBuild(prepKey, func() (method.PreparedSystem, error) {
+	ps, prepHit, err := s.prepCache.getOrBuild(prepKey, func() (ps method.PreparedSystem, err error) {
+		// Same once-latch poisoning hazard as the matrix build above: a
+		// panicking Prepare must resolve the entry with an error, not
+		// wedge the key.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				err = fmt.Errorf("%w: %v", errPanic, rec)
+			}
+		}()
 		if !s.acquireGate() {
 			return nil, errAtCapacity
 		}
@@ -1028,7 +1126,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// the server's lifetime, capped by the per-solve budget.
 		pctx, cancel := context.WithTimeout(context.Background(), s.cfg.SolveTimeout)
 		defer cancel()
-		ps, err := method.Prepare(pctx, m, a, opts)
+		ps, err = method.Prepare(pctx, m, a, opts)
 		if err == nil {
 			// Spill freshly built state immediately (not only on
 			// eviction), so a restart after a crash still finds it.
@@ -1041,6 +1139,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, errAtCapacity):
 		s.reject(w, "server at capacity (%d batches in flight); retry later", s.cfg.MaxConcurrent)
+		return
+	case errors.Is(err, errPanic):
+		s.fail(w, http.StatusInternalServerError, "preparing system: %v", err)
 		return
 	case err != nil:
 		s.fail(w, http.StatusBadRequest, "preparing system: %v", err)
@@ -1137,6 +1238,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// Only a single-client batch is ever cancelled, and only by its
 		// own client going away — shed, not an error.
 		s.reject(w, "client went away during solve")
+		return
+	case errors.Is(it.err, errPanic):
+		// A contained worker panic: the daemon survives, the request
+		// reports a server fault (the input may be fine; the method is
+		// not).
+		s.fail(w, http.StatusInternalServerError, "solve failed: %v", it.err)
 		return
 	default:
 		s.fail(w, http.StatusBadRequest, "solve failed: %v", it.err)

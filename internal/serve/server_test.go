@@ -264,6 +264,11 @@ func TestAdmissionGateRejects(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", resp.StatusCode)
 	}
+	// The 503 must hint a backoff: Retry-After derived from the queue
+	// timeout, rounded up to a whole second (30ms → "1").
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
 	var stats Stats
 	getJSON(t, ts, "/stats", &stats)
 	if stats.Rejected != 1 {

@@ -168,6 +168,16 @@ func (d *Dir) Put(key string, blob []byte) error {
 		os.Remove(name)
 		return fmt.Errorf("store: writing blob: %w", err)
 	}
+	// Fsync before rename: the rename's atomicity only orders metadata,
+	// so on non-ordered filesystems a crash shortly after Put could
+	// otherwise surface a zero-length or partial blob under the final
+	// name. The envelope check would catch it, but the store must not
+	// manufacture corrupt blobs itself.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: syncing blob: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("store: closing blob: %w", err)

@@ -1,0 +1,157 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBreakerOpen reports an operation rejected without touching the
+// backend because the circuit breaker is open. Callers treat it as a
+// miss (serving degrades to a fresh Prepare), never as a store error.
+var ErrBreakerOpen = errors.New("store: circuit breaker open")
+
+// Clock is an injected monotonic time source: a duration since some
+// fixed origin. The store package may not read the wall clock itself
+// (the determinism analyzer bans time.Now here), so the breaker's probe
+// timer runs on whatever clock the caller supplies — serve wires a real
+// monotonic clock, tests wire a hand-cranked fake.
+type Clock func() time.Duration
+
+// BreakerConfig declares the circuit breaker guarding a PrepStore's
+// backend. The zero value disables the breaker.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that trips the breaker
+	// open; <= 0 disables the breaker.
+	Failures int
+	// Probe is how long the breaker stays open before letting one
+	// half-open probe through.
+	Probe time.Duration
+	// Clock drives the probe timer; nil disables the breaker.
+	Clock Clock
+}
+
+// Enabled reports whether the config describes a working breaker.
+func (c BreakerConfig) Enabled() bool {
+	return c.Failures > 0 && c.Probe > 0 && c.Clock != nil
+}
+
+// breaker states. The machine is the classic three-state breaker:
+// closed counts consecutive failures; open rejects everything until the
+// probe timer fires; half-open admits exactly one probe whose outcome
+// decides closed vs open again.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the state machine. All transitions run under mu; trips is
+// additionally atomic so counter snapshots never take the lock.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    int
+	fails    int           // consecutive failures while closed
+	openedAt time.Duration // clock reading at the open transition
+	probing  bool          // a half-open probe is in flight
+
+	trips atomic.Uint64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg}
+}
+
+// allow reports whether the next operation may touch the backend. In
+// the open state it also advances to half-open once the probe interval
+// has elapsed, in which case the calling operation *is* the probe;
+// concurrent callers during a probe are rejected, so exactly one
+// request pays for the experiment.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.cfg.Clock()-b.openedAt < b.cfg.Probe {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records one operation that completed against the backend.
+// A successful half-open probe closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state == breakerHalfOpen {
+		b.state = breakerClosed
+		b.probing = false
+	}
+}
+
+// failure records one operation that exhausted its retries. Reaching
+// the consecutive-failure threshold while closed trips the breaker; a
+// failed half-open probe reopens it (and re-arms the probe timer).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Failures {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		b.trip()
+	}
+}
+
+// trip moves to open under mu and stamps the probe timer.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.fails = 0
+	b.openedAt = b.cfg.Clock()
+	b.trips.Add(1)
+}
+
+// stateName reports the current state for /stats and /readyz. A nil
+// breaker (store built without one) reads "disabled".
+func (b *breaker) stateName() string {
+	if b == nil {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// tripCount reports the lifetime number of closed→open transitions.
+func (b *breaker) tripCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.trips.Load()
+}

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked monotonic clock for breaker tests — the
+// satellite requirement is explicit: table-driven, no sleeps.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func newTestBreaker(failures int, probe time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{}
+	return newBreaker(BreakerConfig{Failures: failures, Probe: probe, Clock: clk.Now}), clk
+}
+
+// TestBreakerTransitions drives the full state machine through a
+// scripted sequence of outcomes and clock advances.
+func TestBreakerTransitions(t *testing.T) {
+	const (
+		opOK      = "ok"      // allow must admit; report success
+		opFail    = "fail"    // allow must admit; report failure
+		opDenied  = "denied"  // allow must reject
+		opAdvance = "advance" // crank the clock past the probe interval
+	)
+	cases := []struct {
+		name      string
+		script    []string
+		wantState string
+		wantTrips uint64
+	}{
+		{"stays closed below threshold", []string{opFail, opFail, opOK, opFail, opFail}, "closed", 0},
+		{"success resets the failure count", []string{opFail, opFail, opOK, opFail, opFail, opOK}, "closed", 0},
+		{"trips open at N consecutive failures", []string{opFail, opFail, opFail}, "open", 1},
+		{"open rejects before the probe timer", []string{opFail, opFail, opFail, opDenied, opDenied}, "open", 1},
+		{"half-open probe success closes", []string{opFail, opFail, opFail, opAdvance, opOK}, "closed", 1},
+		{"half-open probe failure reopens", []string{opFail, opFail, opFail, opAdvance, opFail}, "open", 2},
+		{"reopened breaker re-arms its probe timer", []string{opFail, opFail, opFail, opAdvance, opFail, opDenied, opAdvance, opOK}, "closed", 2},
+		{"closed again counts failures from zero", []string{opFail, opFail, opFail, opAdvance, opOK, opFail, opFail}, "closed", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := newTestBreaker(3, time.Second)
+			for i, step := range tc.script {
+				switch step {
+				case opOK, opFail:
+					if !b.allow() {
+						t.Fatalf("step %d (%s): allow() = false in state %s", i, step, b.stateName())
+					}
+					if step == opOK {
+						b.success()
+					} else {
+						b.failure()
+					}
+				case opDenied:
+					if b.allow() {
+						t.Fatalf("step %d: allow() = true, want rejection in state %s", i, b.stateName())
+					}
+				case opAdvance:
+					clk.Advance(time.Second)
+				}
+			}
+			if got := b.stateName(); got != tc.wantState {
+				t.Errorf("state = %q, want %q", got, tc.wantState)
+			}
+			if got := b.tripCount(); got != tc.wantTrips {
+				t.Errorf("trips = %d, want %d", got, tc.wantTrips)
+			}
+		})
+	}
+}
+
+// TestBreakerSingleProbe pins the half-open concurrency contract: after
+// the probe timer fires, exactly one caller is admitted as the probe no
+// matter how many race for it; everyone else is rejected until the
+// probe reports.
+func TestBreakerSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	if !b.allow() {
+		t.Fatal("closed breaker rejected")
+	}
+	b.failure() // threshold 1: trips immediately
+	clk.Advance(2 * time.Second)
+
+	const callers = 32
+	var admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.allow() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", admitted)
+	}
+	if got := b.stateName(); got != "half-open" {
+		t.Fatalf("state = %q, want half-open while probe in flight", got)
+	}
+	b.success()
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("state after probe success = %q, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected after recovery")
+	}
+}
+
+// TestBreakerDisabled covers the nil breaker every plain NewPrepStore
+// carries.
+func TestBreakerDisabled(t *testing.T) {
+	var b *breaker
+	if got := b.stateName(); got != "disabled" {
+		t.Fatalf("nil breaker state = %q, want disabled", got)
+	}
+	if got := b.tripCount(); got != 0 {
+		t.Fatalf("nil breaker trips = %d, want 0", got)
+	}
+	cfgs := []BreakerConfig{
+		{},
+		{Failures: 3},
+		{Failures: 3, Probe: time.Second},
+		{Probe: time.Second, Clock: (&fakeClock{}).Now},
+	}
+	for i, cfg := range cfgs {
+		if cfg.Enabled() {
+			t.Errorf("config %d (%+v) reports enabled", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/asynclinalg/asyrgs/internal/fault"
+)
+
+// FaultBackend wraps any Backend with deterministic fault injection on
+// the Put and Get paths: injected errors, injected latency, bit-flip
+// corruption on reads, and short (truncated) writes. Delete and Len
+// pass through untouched — they are housekeeping, and faulting them
+// would only blur the accounting the chaos harness reconciles.
+//
+// Each path gets its own fault site ("store.get", "store.put"), so one
+// seed drives independent schedules and per-path applied-fault stats.
+// The wrapper also models a total outage: while Down, every Put/Get
+// fails immediately (counted separately from injected errors), which is
+// what drives the circuit breaker's trip-and-recover phase in tests.
+type FaultBackend struct {
+	inner Backend
+	get   *fault.Injector
+	put   *fault.Injector
+
+	down       atomic.Bool
+	downDenied atomic.Uint64
+}
+
+// NewFaultBackend wraps inner with the fault mix in cfg. A zero cfg
+// yields a transparent wrapper (nil injectors decide nothing).
+func NewFaultBackend(inner Backend, cfg fault.Config) *FaultBackend {
+	return &FaultBackend{
+		inner: inner,
+		get:   fault.New(cfg, "store.get"),
+		put:   fault.New(cfg, "store.put"),
+	}
+}
+
+// Inner returns the wrapped backend.
+func (f *FaultBackend) Inner() Backend { return f.inner }
+
+// SetDown toggles the total-outage mode.
+func (f *FaultBackend) SetDown(v bool) { f.down.Store(v) }
+
+// DownDenied reports operations rejected while the backend was Down.
+func (f *FaultBackend) DownDenied() uint64 { return f.downDenied.Load() }
+
+// GetStats and PutStats snapshot the applied-fault counters per path.
+func (f *FaultBackend) GetStats() fault.Stats { return f.get.Stats() }
+func (f *FaultBackend) PutStats() fault.Stats { return f.put.Stats() }
+
+// Put stores the blob, possibly delayed, failed, or truncated. A
+// corrupt decision becomes a short write — only a prefix of the blob
+// reaches the inner backend, the way a crash mid-write or a lying disk
+// loses the tail — which the envelope check catches on the next read.
+func (f *FaultBackend) Put(key string, blob []byte) error {
+	if f.down.Load() {
+		f.downDenied.Add(1)
+		return fmt.Errorf("%w: backend down (put %q)", fault.ErrInjected, key)
+	}
+	d := f.put.Next()
+	f.put.SleepFor(d)
+	if d.Err {
+		f.put.RecordErr()
+		return fmt.Errorf("%w: put %q", fault.ErrInjected, key)
+	}
+	if d.Corrupt && len(blob) > 1 {
+		f.put.RecordCorrupt()
+		blob = blob[:d.Aux%uint64(len(blob))]
+	}
+	return f.inner.Put(key, blob)
+}
+
+// Get returns the blob, possibly delayed, failed, or with one bit
+// flipped at a schedule-derived position. The flip happens on a private
+// copy, so backends that share their storage (Memory) are not poisoned
+// for later reads.
+func (f *FaultBackend) Get(key string) ([]byte, error) {
+	if f.down.Load() {
+		f.downDenied.Add(1)
+		return nil, fmt.Errorf("%w: backend down (get %q)", fault.ErrInjected, key)
+	}
+	d := f.get.Next()
+	f.get.SleepFor(d)
+	if d.Err {
+		f.get.RecordErr()
+		return nil, fmt.Errorf("%w: get %q", fault.ErrInjected, key)
+	}
+	blob, err := f.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if d.Corrupt && len(blob) > 0 {
+		f.get.RecordCorrupt()
+		cp := make([]byte, len(blob))
+		copy(cp, blob)
+		bit := d.Aux % uint64(len(cp)*8)
+		cp[bit/8] ^= 1 << (bit % 8)
+		blob = cp
+	}
+	return blob, nil
+}
+
+// Delete passes through.
+func (f *FaultBackend) Delete(key string) error { return f.inner.Delete(key) }
+
+// Len passes through.
+func (f *FaultBackend) Len() (int, error) { return f.inner.Len() }

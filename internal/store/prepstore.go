@@ -4,6 +4,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/rng"
 )
 
 // spillQueueCap bounds the background writer's queue. A full queue drops
@@ -28,6 +31,46 @@ type Counters struct {
 	Errors uint64 `json:"store_errors"`
 	// Dropped counts spills discarded because the writer queue was full.
 	Dropped uint64 `json:"spill_drops"`
+	// Retries counts backend operations re-attempted after a transient
+	// failure. Together with Failures it reconciles exactly against an
+	// injector's error count: every backend error is either retried away
+	// or ends one failed operation.
+	Retries uint64 `json:"store_retries"`
+	// Failures counts operations that exhausted their retry budget.
+	Failures uint64 `json:"store_failures"`
+	// BreakerRejects counts operations refused without touching the
+	// backend because the circuit breaker was open. Deliberate shedding,
+	// not an error: the caller degrades to a fresh Prepare.
+	BreakerRejects uint64 `json:"breaker_rejects"`
+	// BreakerTrips counts closed→open breaker transitions.
+	BreakerTrips uint64 `json:"breaker_trips"`
+	// CorruptBlobs counts blobs fetched intact from the backend that
+	// failed envelope or hash verification — the integrity layer doing
+	// its job against torn writes and bit rot.
+	CorruptBlobs uint64 `json:"corrupt_blobs"`
+}
+
+// RetryConfig bounds the retry loop around transient backend failures.
+// The zero value means one attempt, no retries.
+type RetryConfig struct {
+	// Max is the number of re-attempts after the first try; <= 0
+	// disables retries.
+	Max int
+	// Base is the first backoff; Cap bounds the growth. Unset values
+	// default to 1ms / 100ms when Max > 0.
+	Base, Cap time.Duration
+	// Seed keys the Philox jitter stream (decorrelated-jitter backoff
+	// needs randomness, and math/rand is banned in this package).
+	Seed uint64
+	// Sleep performs the backoff; nil means time.Sleep. Tests inject a
+	// recorder so retry schedules cost no wall time.
+	Sleep func(time.Duration)
+}
+
+// Options configures the resilience layer around a PrepStore's backend.
+type Options struct {
+	Retry   RetryConfig
+	Breaker BreakerConfig
 }
 
 // spillReq is one unit of background-writer work: either a pending
@@ -51,26 +94,125 @@ type spillReq struct {
 type PrepStore struct {
 	backend Backend
 
+	retry     RetryConfig
+	jitter    rng.Stream
+	jitterCtr atomic.Uint64
+	br        *breaker
+
 	queue chan spillReq
 	wg    sync.WaitGroup
 
 	closeMu sync.RWMutex
 	closed  bool
 
-	restores atomic.Uint64
-	spills   atomic.Uint64
-	errs     atomic.Uint64
-	dropped  atomic.Uint64
+	restores       atomic.Uint64
+	spills         atomic.Uint64
+	errs           atomic.Uint64
+	dropped        atomic.Uint64
+	retries        atomic.Uint64
+	failures       atomic.Uint64
+	breakerRejects atomic.Uint64
+	corruptBlobs   atomic.Uint64
 }
 
 // NewPrepStore wraps a backend and starts the background writer. Callers
 // own the store's lifecycle and must Close it to stop the writer.
 func NewPrepStore(backend Backend) *PrepStore {
-	s := &PrepStore{backend: backend, queue: make(chan spillReq, spillQueueCap)}
+	return NewPrepStoreWith(backend, Options{})
+}
+
+// NewPrepStoreWith is NewPrepStore plus the resilience layer: bounded
+// retry with decorrelated-jitter backoff on transient Put/Get failures,
+// and an optional circuit breaker so a dead backend stops costing
+// per-miss latency (misses are refused instantly and serving degrades
+// to fresh Prepares until a probe succeeds).
+func NewPrepStoreWith(backend Backend, opts Options) *PrepStore {
+	s := &PrepStore{
+		backend: backend,
+		retry:   opts.Retry,
+		queue:   make(chan spillReq, spillQueueCap),
+	}
+	if s.retry.Max > 0 {
+		if s.retry.Base <= 0 {
+			s.retry.Base = time.Millisecond
+		}
+		if s.retry.Cap <= 0 {
+			s.retry.Cap = 100 * time.Millisecond
+		}
+		s.jitter = rng.NewStream(opts.Retry.Seed ^ 0x6a69747465720a51)
+	}
+	if opts.Breaker.Enabled() {
+		s.br = newBreaker(opts.Breaker)
+	}
 	s.wg.Add(1)
 	go s.writer()
 	return s
 }
+
+// do runs one backend operation through the breaker gate and the retry
+// loop. ErrNotFound is a miss, not a failure: it returns immediately
+// and counts as success for the breaker. Only the operation's final
+// outcome (after retries) feeds the breaker, so one flaky op cannot
+// trip it.
+func (s *PrepStore) do(op func() error) error {
+	if s.br != nil && !s.br.allow() {
+		s.breakerRejects.Add(1)
+		return ErrBreakerOpen
+	}
+	backoff := s.retry.Base
+	var err error
+	//asyrgs:boundedloop retry loop is capped at retry.Max re-attempts
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || errors.Is(err, ErrNotFound) {
+			if s.br != nil {
+				s.br.success()
+			}
+			return err
+		}
+		if attempt >= s.retry.Max {
+			break
+		}
+		s.retries.Add(1)
+		s.sleep(backoff)
+		backoff = s.nextBackoff(backoff)
+	}
+	s.failures.Add(1)
+	if s.br != nil {
+		s.br.failure()
+	}
+	return err
+}
+
+// nextBackoff is one step of AWS-style decorrelated jitter:
+// next = min(cap, base + u·(3·prev − base)), u uniform in [0,1) drawn
+// from a Philox stream so the schedule is replayable under a seed.
+func (s *PrepStore) nextBackoff(prev time.Duration) time.Duration {
+	span := 3*prev - s.retry.Base
+	if span < 0 {
+		span = 0
+	}
+	u := s.jitter.Float64At(s.jitterCtr.Add(1) - 1)
+	next := s.retry.Base + time.Duration(u*float64(span))
+	if next > s.retry.Cap {
+		next = s.retry.Cap
+	}
+	return next
+}
+
+// sleep performs one backoff through the injected sleeper.
+func (s *PrepStore) sleep(d time.Duration) {
+	if s.retry.Sleep != nil {
+		s.retry.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// BreakerState reports the circuit breaker's current state ("closed",
+// "open", "half-open", or "disabled" when no breaker is configured) for
+// /stats and /readyz.
+func (s *PrepStore) BreakerState() string { return s.br.stateName() }
 
 // Backend returns the underlying blob backend.
 func (s *PrepStore) Backend() Backend { return s.backend }
@@ -81,8 +223,13 @@ func (s *PrepStore) Backend() Backend { return s.backend }
 // fail again, and reports absent — the caller falls back to a fresh
 // Prepare.
 func (s *PrepStore) Fetch(key string) ([]byte, bool) {
-	blob, err := s.backend.Get(key)
-	if errors.Is(err, ErrNotFound) {
+	var blob []byte
+	err := s.do(func() error {
+		var gerr error
+		blob, gerr = s.backend.Get(key)
+		return gerr
+	})
+	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrBreakerOpen) {
 		return nil, false
 	}
 	if err != nil {
@@ -91,6 +238,7 @@ func (s *PrepStore) Fetch(key string) ([]byte, bool) {
 	}
 	payload, err := DecodeBlob(key, blob)
 	if err != nil {
+		s.corruptBlobs.Add(1)
 		s.discard(key)
 		return nil, false
 	}
@@ -166,10 +314,15 @@ func (s *PrepStore) Close() {
 // Counters snapshots the store's activity counters.
 func (s *PrepStore) Counters() Counters {
 	return Counters{
-		Restores: s.restores.Load(),
-		Spills:   s.spills.Load(),
-		Errors:   s.errs.Load(),
-		Dropped:  s.dropped.Load(),
+		Restores:       s.restores.Load(),
+		Spills:         s.spills.Load(),
+		Errors:         s.errs.Load(),
+		Dropped:        s.dropped.Load(),
+		Retries:        s.retries.Load(),
+		Failures:       s.failures.Load(),
+		BreakerRejects: s.breakerRejects.Load(),
+		BreakerTrips:   s.br.tripCount(),
+		CorruptBlobs:   s.corruptBlobs.Load(),
 	}
 }
 
@@ -199,7 +352,14 @@ func (s *PrepStore) writer() {
 			s.errs.Add(1)
 			continue
 		}
-		if err := s.backend.Put(req.key, EncodeBlob(req.key, payload)); err != nil {
+		blob := EncodeBlob(req.key, payload)
+		err = s.do(func() error { return s.backend.Put(req.key, blob) })
+		if errors.Is(err, ErrBreakerOpen) {
+			// Deliberate shedding, already counted in BreakerRejects;
+			// the prepared system simply is not persisted this time.
+			continue
+		}
+		if err != nil {
 			s.errs.Add(1)
 			continue
 		}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/asynclinalg/asyrgs/internal/fault"
+)
+
+// noSleep is the injected retry sleeper for tests: backoff schedules
+// must cost no wall time.
+func noSleep(time.Duration) {}
+
+// spillSync spills key/payload and flushes so the write has landed (or
+// failed) before the test inspects counters.
+func spillSync(s *PrepStore, key string, payload []byte) {
+	s.Spill(key, func() ([]byte, error) { return payload, nil })
+	s.Flush()
+}
+
+// TestRetryRecoversTransientErrors drives Fetch against a backend that
+// injects errors and checks (a) the payload still comes back, and (b)
+// the injected-error count reconciles exactly against Retries+Failures
+// — the identity the chaos soak later asserts end to end.
+func TestRetryRecoversTransientErrors(t *testing.T) {
+	fb := NewFaultBackend(NewMemory(), fault.Config{Seed: 11, ErrRate: 0.3})
+	s := NewPrepStoreWith(fb, Options{Retry: RetryConfig{Max: 4, Seed: 11, Sleep: noSleep}})
+	defer s.Close()
+
+	spillSync(s, "k", []byte("payload"))
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if payload, ok := s.Fetch("k"); ok {
+			hits++
+			if string(payload) != "payload" {
+				t.Fatalf("Fetch returned %q", payload)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no Fetch succeeded despite a 4-retry budget against 30% errors")
+	}
+	c := s.Counters()
+	inj := fb.GetStats().Errs + fb.PutStats().Errs
+	if inj == 0 {
+		t.Fatal("injector applied no errors; test exercises nothing")
+	}
+	if got := c.Retries + c.Failures; got != inj {
+		t.Fatalf("accounting drifted: injected %d errors, Retries+Failures = %d", inj, got)
+	}
+}
+
+// TestRetryExhaustionCountsFailure pins the budget: Max retries, then
+// one Failure and one store error, and the caller sees a miss.
+func TestRetryExhaustionCountsFailure(t *testing.T) {
+	fb := NewFaultBackend(NewMemory(), fault.Config{Seed: 1, ErrRate: 1})
+	s := NewPrepStoreWith(fb, Options{Retry: RetryConfig{Max: 3, Sleep: noSleep}})
+	defer s.Close()
+
+	if _, ok := s.Fetch("k"); ok {
+		t.Fatal("Fetch succeeded against an always-failing backend")
+	}
+	c := s.Counters()
+	if c.Retries != 3 || c.Failures != 1 || c.Errors != 1 {
+		t.Fatalf("counters = %+v, want 3 retries, 1 failure, 1 error", c)
+	}
+	if got := fb.GetStats().Errs; got != 4 {
+		t.Fatalf("injected errors = %d, want 4 (1 attempt + 3 retries)", got)
+	}
+}
+
+// TestCorruptGetFallsBack: a bit-flipped read fails verification, counts
+// one corrupt blob, deletes it, and reports a miss — and the injector's
+// applied-corruption count reconciles exactly with CorruptBlobs.
+func TestCorruptGetFallsBack(t *testing.T) {
+	fb := NewFaultBackend(NewMemory(), fault.Config{Seed: 2, CorruptRate: 1})
+	s := NewPrepStoreWith(fb, Options{})
+	defer s.Close()
+
+	spillSync(s, "k", []byte("payload"))
+	if _, ok := s.Fetch("k"); ok {
+		t.Fatal("Fetch returned a corrupted blob as valid")
+	}
+	c := s.Counters()
+	if c.CorruptBlobs != 1 {
+		t.Fatalf("CorruptBlobs = %d, want 1", c.CorruptBlobs)
+	}
+	if got := fb.GetStats().Corrupts; got != c.CorruptBlobs {
+		t.Fatalf("injector corrupted %d, store counted %d", got, c.CorruptBlobs)
+	}
+	// The poisoned blob was deleted: the next miss re-prepares instead
+	// of re-failing forever.
+	if _, err := fb.Inner().Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt blob not deleted: %v", err)
+	}
+}
+
+// TestShortWriteSurvived is the Dir.Put durability satellite: a Put
+// truncated in flight (the FaultBackend's short-write mode) must leave
+// the store serving misses, not corrupt payloads — against the real
+// directory backend whose fsync+rename path this PR hardens.
+func TestShortWriteSurvived(t *testing.T) {
+	dir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := NewFaultBackend(dir, fault.Config{Seed: 5, CorruptRate: 1})
+	s := NewPrepStoreWith(fb, Options{})
+	defer s.Close()
+
+	spillSync(s, "k", []byte("a payload long enough to truncate meaningfully"))
+	if got := fb.PutStats().Corrupts; got != 1 {
+		t.Fatalf("put-path corruptions = %d, want 1 (short write applied)", got)
+	}
+	// Fetch must reject the truncated blob. Note the read path also
+	// corrupts here (CorruptRate 1), but either way a miss is the only
+	// acceptable outcome.
+	if _, ok := s.Fetch("k"); ok {
+		t.Fatal("Fetch served a short-written blob")
+	}
+	if c := s.Counters(); c.CorruptBlobs == 0 {
+		t.Fatalf("counters = %+v, want the short write surfaced as a corrupt blob", c)
+	}
+}
+
+// TestBreakerShedsDeadBackend wires store+breaker against a backend in
+// total outage: after Failures consecutive losses the breaker opens and
+// further Fetches are refused without touching the backend; once the
+// backend recovers and the probe timer fires, one probe closes the
+// breaker and service resumes.
+func TestBreakerShedsDeadBackend(t *testing.T) {
+	clk := &fakeClock{}
+	fb := NewFaultBackend(NewMemory(), fault.Config{})
+	s := NewPrepStoreWith(fb, Options{
+		Retry:   RetryConfig{Max: 1, Sleep: noSleep},
+		Breaker: BreakerConfig{Failures: 3, Probe: time.Second, Clock: clk.Now},
+	})
+	defer s.Close()
+
+	spillSync(s, "k", []byte("payload"))
+	fb.SetDown(true)
+
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Fetch("k"); ok {
+			t.Fatalf("Fetch %d succeeded against a down backend", i)
+		}
+	}
+	if got := s.BreakerState(); got != "open" {
+		t.Fatalf("breaker state = %q after 3 consecutive failures, want open", got)
+	}
+	denied := fb.DownDenied()
+	if _, ok := s.Fetch("k"); ok {
+		t.Fatal("Fetch succeeded while breaker open")
+	}
+	if fb.DownDenied() != denied {
+		t.Fatal("open breaker still let a request through to the backend")
+	}
+	c := s.Counters()
+	if c.BreakerTrips != 1 || c.BreakerRejects != 1 {
+		t.Fatalf("counters = %+v, want 1 trip and 1 reject", c)
+	}
+
+	fb.SetDown(false)
+	clk.Advance(2 * time.Second)
+	if payload, ok := s.Fetch("k"); !ok || string(payload) != "payload" {
+		t.Fatalf("probe Fetch = %q, %v; want payload, true", payload, ok)
+	}
+	if got := s.BreakerState(); got != "closed" {
+		t.Fatalf("breaker state = %q after successful probe, want closed", got)
+	}
+}
+
+// TestBreakerOpenDropsSpills: with the breaker open, queued spills are
+// shed at the do() gate (BreakerRejects), not counted as store errors.
+func TestBreakerOpenDropsSpills(t *testing.T) {
+	clk := &fakeClock{}
+	fb := NewFaultBackend(NewMemory(), fault.Config{})
+	s := NewPrepStoreWith(fb, Options{
+		Breaker: BreakerConfig{Failures: 1, Probe: time.Hour, Clock: clk.Now},
+	})
+	defer s.Close()
+
+	fb.SetDown(true)
+	s.Fetch("k") // one failure trips the breaker
+	if got := s.BreakerState(); got != "open" {
+		t.Fatalf("breaker state = %q, want open", got)
+	}
+	spillSync(s, "k", []byte("payload"))
+	c := s.Counters()
+	if c.Spills != 0 || c.BreakerRejects != 1 {
+		t.Fatalf("counters = %+v, want 0 spills and 1 breaker reject", c)
+	}
+	if c.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1 (the tripping fetch only; shed spill is not an error)", c.Errors)
+	}
+}
+
+// TestPlainStoreUnchanged guards the seed behavior: a store built with
+// NewPrepStore has no retries, no breaker, and identical miss handling.
+func TestPlainStoreUnchanged(t *testing.T) {
+	fb := NewFaultBackend(NewMemory(), fault.Config{Seed: 3, ErrRate: 1})
+	s := NewPrepStore(fb)
+	defer s.Close()
+
+	if _, ok := s.Fetch("k"); ok {
+		t.Fatal("Fetch succeeded against an always-failing backend")
+	}
+	c := s.Counters()
+	if c.Retries != 0 || c.BreakerRejects != 0 || c.BreakerTrips != 0 {
+		t.Fatalf("plain store grew resilience counters: %+v", c)
+	}
+	if c.Errors != 1 || c.Failures != 1 {
+		t.Fatalf("counters = %+v, want exactly 1 error and 1 failure", c)
+	}
+	if got := s.BreakerState(); got != "disabled" {
+		t.Fatalf("BreakerState = %q, want disabled", got)
+	}
+}
